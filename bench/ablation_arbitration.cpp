@@ -1,0 +1,95 @@
+// Ablation (DESIGN.md §4): router arbitration policy and partition strategy
+// affect the measured constants, never the exponents the paper's tables are
+// built from.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "netemu/bandwidth/empirical.hpp"
+#include "netemu/emulation/engine.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Ablation: arbitration policy and partition strategy");
+  Prng rng(31);
+  Verdict verdict;
+
+  // --- arbitration: per-policy beta-hat and the fitted exponent ------------
+  Table t({"machine", "farthest-first", "fifo", "random",
+           "max/min ratio"});
+  const std::pair<Family, unsigned> machines[] = {
+      {Family::kMesh, 2}, {Family::kDeBruijn, 1}, {Family::kTree, 1}};
+  for (const auto& [f, k] : machines) {
+    std::vector<double> sizes, slopes;
+    std::vector<std::string> cells;
+    double lo = 1e300, hi = 0;
+    for (Arbitration arb : {Arbitration::kFarthestFirst, Arbitration::kFifo,
+                            Arbitration::kRandom}) {
+      const Machine m = make_machine(f, 1024, k, rng);
+      ThroughputOptions opt;
+      opt.arbitration = arb;
+      opt.trials = 2;
+      const double rate = measure_beta_simulated(m, rng, opt);
+      cells.push_back(Table::num(rate, 2));
+      lo = std::min(lo, rate);
+      hi = std::max(hi, rate);
+    }
+    const double ratio = hi / lo;
+    t.add_row({std::string(family_name(f)), cells[0], cells[1], cells[2],
+               Table::num(ratio, 2)});
+    // Policies differ by constants only.
+    verdict.check(ratio < 2.0, std::string(family_name(f)) +
+                                   " arbitration changes constants only");
+  }
+  t.print(std::cout);
+
+  // --- arbitration does not move the mesh exponent -------------------------
+  std::cout << "\nFitted beta exponent of Mesh2 per policy (paper: 0.5):\n\n";
+  Table t2({"policy", "fitted exponent"});
+  for (Arbitration arb : {Arbitration::kFarthestFirst, Arbitration::kFifo,
+                          Arbitration::kRandom}) {
+    std::vector<double> ns, rates;
+    for (std::uint32_t side : {8u, 16u, 32u, 64u}) {
+      const Machine m = make_mesh({side, side});
+      ThroughputOptions opt;
+      opt.arbitration = arb;
+      opt.trials = 2;
+      ns.push_back(static_cast<double>(side) * side);
+      rates.push_back(measure_beta_simulated(m, rng, opt));
+    }
+    const PowerFit fit = fit_power(ns, rates);
+    t2.add_row({arbitration_name(arb), Table::num(fit.exponent, 3)});
+    verdict.check(std::abs(fit.exponent - 0.5) < 0.15,
+                  std::string(arbitration_name(arb)) + " exponent");
+  }
+  t2.print(std::cout);
+
+  // --- partition strategy in the emulation engine --------------------------
+  std::cout << "\nEmulation slowdown (Mesh2(1024) guest on Mesh2(64) host) "
+               "per partitioner:\n\n";
+  Table t3({"partitioner", "slowdown", "comm fraction"});
+  const Machine guest = make_mesh({32, 32});
+  const Machine host = make_mesh({8, 8});
+  double s_block = 0, s_random = 0;
+  for (auto strat : {PartitionStrategy::kBlock, PartitionStrategy::kBfs,
+                     PartitionStrategy::kMatched, PartitionStrategy::kRandom}) {
+    EmulationOptions opt;
+    opt.guest_steps = 2;
+    opt.partition = strat;
+    const EmulationResult r = emulate(guest, host, rng, opt);
+    if (strat == PartitionStrategy::kBlock) s_block = r.slowdown;
+    if (strat == PartitionStrategy::kRandom) s_random = r.slowdown;
+    t3.add_row({partition_strategy_name(strat), Table::num(r.slowdown, 2),
+                Table::num(r.comm_fraction, 2)});
+  }
+  t3.print(std::cout);
+  verdict.check(s_random > s_block,
+                "random placement costs more than locality-preserving");
+  // The theory lower bound holds regardless of partitioner: n/m = 16.
+  verdict.check(s_block >= 16.0, "load bound holds under block partition");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

@@ -1,0 +1,86 @@
+// Ablation (DESIGN.md §4): bisection estimators (exact vs Kernighan-Lin vs
+// spectral lower bound) and traffic sampling (exact all-pairs congestion
+// witness vs sampled batches).
+
+#include "bench_common.hpp"
+#include "netemu/cut/bisection.hpp"
+#include "netemu/cut/spectral.hpp"
+#include "netemu/embedding/congestion_witness.hpp"
+#include "netemu/routing/router.hpp"
+#include "netemu/traffic/traffic_graph.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Ablation: bisection estimators and traffic sampling");
+  Prng rng(37);
+  Verdict verdict;
+
+  // --- bisection: spectral <= exact <= KL on small instances ---------------
+  Table t({"machine", "n", "spectral LB", "exact", "KL heuristic",
+           "KL/exact"});
+  const std::pair<Family, unsigned> machines[] = {
+      {Family::kMesh, 2}, {Family::kTree, 1}, {Family::kDeBruijn, 1},
+      {Family::kXTree, 1}};
+  for (const auto& [f, k] : machines) {
+    const Machine m = make_machine(f, 16, k, rng);
+    const Bisection exact = exact_bisection(m.graph);
+    const Bisection kl = kl_bisection(m.graph, rng, 16);
+    const SpectralResult sp = fiedler_value(m.graph, rng);
+    const double ratio = static_cast<double>(kl.width) /
+                         static_cast<double>(std::max<std::uint64_t>(1,
+                                                                     exact.width));
+    t.add_row({m.name, Table::integer((long long)m.graph.num_vertices()),
+               Table::num(sp.bisection_lb, 2),
+               Table::integer((long long)exact.width),
+               Table::integer((long long)kl.width), Table::num(ratio, 2)});
+    verdict.check(sp.bisection_lb <= exact.width + 1e-6,
+                  m.name + ": spectral is a lower bound");
+    verdict.check(kl.width >= exact.width, m.name + ": KL upper-bounds");
+    verdict.check(ratio <= 1.5, m.name + ": KL within 1.5x of exact");
+  }
+  t.print(std::cout);
+
+  // --- KL at scale vs spectral certificate ----------------------------------
+  std::cout << "\nKL vs spectral certificate at larger sizes (Mesh2):\n\n";
+  Table t2({"side", "KL width", "spectral LB", "true width", "KL/true"});
+  for (std::uint32_t side : {8u, 16u, 32u}) {
+    const Machine m = make_mesh({side, side});
+    const Bisection kl = kl_bisection(m.graph, rng, 12);
+    const SpectralResult sp = fiedler_value(m.graph, rng);
+    t2.add_row({Table::integer(side), Table::integer((long long)kl.width),
+                Table::num(sp.bisection_lb, 1), Table::integer(side),
+                Table::num(static_cast<double>(kl.width) / side, 2)});
+    verdict.check(kl.width >= side, "KL upper-bounds true mesh width");
+    verdict.check(kl.width <= 2 * side, "KL within 2x of true mesh width");
+  }
+  t2.print(std::cout);
+
+  // --- traffic sampling: sampled batch congestion -> exact witness ----------
+  std::cout << "\nSampled-batch congestion converges to the all-pairs "
+               "witness (Mesh2(256)):\n\n";
+  const Machine host = make_mesh({16, 16});
+  std::vector<Vertex> procs(256);
+  for (std::size_t i = 0; i < 256; ++i) procs[i] = static_cast<Vertex>(i);
+  const Multigraph kn = symmetric_traffic_graph(256, procs);
+  const CongestionWitness exact_w = congestion_witness(host, kn, rng);
+  Table t3({"batch size", "beta from batch", "beta exact witness", "ratio"});
+  const auto traffic = TrafficDistribution::symmetric(procs);
+  double last_ratio = 0;
+  for (std::size_t msgs : {2048u, 8192u, 32768u}) {
+    const auto batch = traffic.batch(msgs, rng);
+    const Multigraph tb = traffic_graph_from_batch(256, batch);
+    const CongestionWitness w = congestion_witness(host, tb, rng);
+    const double ratio = w.beta_graph / exact_w.beta_graph;
+    last_ratio = ratio;
+    t3.add_row({Table::integer((long long)msgs), Table::num(w.beta_graph, 2),
+                Table::num(exact_w.beta_graph, 2), Table::num(ratio, 3)});
+  }
+  t3.print(std::cout);
+  verdict.check(last_ratio > 0.6 && last_ratio < 1.7,
+                "large sampled batch agrees with exact witness");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

@@ -1,0 +1,73 @@
+// Ablation: the redundancy knob of the Koch et al. emulation model.
+// Replicating the guest r times shortens message distances (regions are
+// smaller) at the price of r-fold work — but it can NEVER beat the
+// bandwidth lower bound β(G)/β(H), which is exactly why the paper states
+// its bound in bandwidth rather than distance terms.
+
+#include "bench_common.hpp"
+#include "netemu/emulation/bounds.hpp"
+#include "netemu/emulation/redundant.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Ablation: redundant emulation (replication factor r)");
+  Prng rng(47);
+  Verdict verdict;
+
+  struct Case {
+    Family gf;
+    unsigned gk;
+    std::size_t gn;
+    Family hf;
+    unsigned hk;
+    std::size_t hn;
+  };
+  const Case cases[] = {
+      // Distance-limited pair: tree guest on a big mesh host.
+      {Family::kTree, 1, 255, Family::kMesh, 2, 256},
+      // Bandwidth-limited pair: de Bruijn guest on a small mesh host.
+      {Family::kDeBruijn, 1, 1024, Family::kMesh, 2, 64},
+  };
+
+  for (const Case& c : cases) {
+    const Machine guest = make_machine(c.gf, c.gn, c.gk, rng);
+    const Machine host = make_machine(c.hf, c.hn, c.hk, rng);
+    const SlowdownBounds b = slowdown_bounds(
+        c.gf, c.gk, static_cast<double>(guest.graph.num_vertices()), c.hf,
+        c.hk, static_cast<double>(host.graph.num_vertices()));
+    std::cout << guest.name << " on " << host.name
+              << "   (bandwidth LB = " << Table::num(b.bandwidth, 1)
+              << ", load LB = " << Table::num(b.load, 1) << ")\n\n";
+
+    Table t({"r", "slowdown", "inefficiency", "comm fraction", "load"});
+    std::vector<double> slowdowns;
+    for (std::uint32_t r : {1u, 2u, 4u}) {
+      RedundantOptions opt;
+      opt.replication = r;
+      opt.guest_steps = 2;
+      const RedundantResult res = emulate_redundant(guest, host, rng, opt);
+      slowdowns.push_back(res.slowdown);
+      t.add_row({Table::integer(r), Table::num(res.slowdown, 1),
+                 Table::num(res.inefficiency, 2),
+                 Table::num(res.comm_fraction, 2),
+                 Table::integer(res.max_load)});
+      // Every replication factor still respects the bandwidth Ω-bound
+      // (4x constant slack).
+      verdict.check(res.slowdown * 4.0 >= b.bandwidth,
+                    guest.name + " r=" + std::to_string(r) +
+                        " beats the bandwidth bound?!");
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: on the distance-limited pair replication helps "
+               "communication (regions\nshrink); on the bandwidth-limited "
+               "pair it cannot — the wires across the host's\nbisection are "
+               "shared by all copies.  Bandwidth, not distance, is the "
+               "robust\nobstruction, which is the paper's thesis.\n";
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

@@ -1,0 +1,65 @@
+// Ablation: Valiant two-phase randomized routing vs direct routing under
+// adversarial functional patterns.  Direct minimal routing concentrates
+// transpose / bit-reversal traffic on a few wires; routing through a random
+// intermediate restores the symmetric-traffic rate at the cost of doubled
+// distance — the randomization device behind the universal-routing theorem
+// ([10]) that Theorem 6's upper bound leans on.
+
+#include "bench_common.hpp"
+#include "netemu/routing/throughput.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Ablation: Valiant randomized routing on adversarial patterns");
+  Prng rng(53);
+  Verdict verdict;
+
+  const Machine mesh = make_machine(Family::kMesh, 1024, 2, rng);
+  std::vector<Vertex> procs(mesh.graph.num_vertices());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    procs[i] = static_cast<Vertex>(i);
+  }
+
+  struct Pattern {
+    const char* name;
+    TrafficDistribution dist;
+  };
+  std::vector<Pattern> patterns;
+  patterns.push_back({"symmetric", TrafficDistribution::symmetric(procs)});
+  patterns.push_back({"transpose", TrafficDistribution::transpose(procs)});
+  patterns.push_back(
+      {"bit-reversal", TrafficDistribution::bit_reversal(procs)});
+  patterns.push_back(
+      {"permutation", TrafficDistribution::permutation(procs, rng)});
+
+  Table t({"pattern", "direct rate", "valiant rate", "valiant/direct"});
+  const auto direct = make_default_router(mesh);
+  const auto valiant = make_valiant_router(mesh);
+  double transpose_gain = 0.0, symmetric_gain = 0.0;
+  for (const Pattern& p : patterns) {
+    ThroughputOptions opt;
+    opt.trials = 2;
+    const double r_direct =
+        measure_throughput(mesh, *direct, p.dist, rng, opt).rate;
+    const double r_valiant =
+        measure_throughput(mesh, *valiant, p.dist, rng, opt).rate;
+    const double gain = r_valiant / r_direct;
+    if (std::string(p.name) == "transpose") transpose_gain = gain;
+    if (std::string(p.name) == "symmetric") symmetric_gain = gain;
+    t.add_row({p.name, Table::num(r_direct, 2), Table::num(r_valiant, 2),
+               Table::num(gain, 2)});
+  }
+  t.print(std::cout);
+
+  // On already-random traffic Valiant only pays its 2x distance tax; on the
+  // adversarial transpose it must win relative to that baseline.
+  verdict.check(symmetric_gain < 1.1,
+                "valiant does not help symmetric traffic");
+  verdict.check(transpose_gain > 1.2 * symmetric_gain,
+                "valiant rescues the transpose pattern");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

@@ -1,0 +1,71 @@
+// The paper's §3 extension: lower bounds for redundant simulations of
+// ALGORITHMS, obtained by bounding the bandwidth demand of their
+// communication patterns.  For each classic parallel algorithm and each
+// host family we print the Lemma 8 cut lower bound on the pattern's routing
+// time, the measured time of an actual schedule, and the implied slowdown
+// relative to the algorithm's native round count.
+//
+// Shape checks: the measured schedule always respects the lower bound, and
+// the qualitative ordering is the expected one — bandwidth-hungry patterns
+// (all-to-all, transpose, FFT) are hurt on weak hosts while local patterns
+// (stencil, odd-even) are not.
+
+#include "bench_common.hpp"
+#include "netemu/algopattern/execution.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Algorithm-pattern slowdown bounds (the paper's §3 program)");
+  Prng rng(43);
+  Verdict verdict;
+
+  const std::pair<Family, unsigned> host_specs[] = {
+      {Family::kLinearArray, 1}, {Family::kTree, 1},   {Family::kXTree, 1},
+      {Family::kMesh, 2},        {Family::kDeBruijn, 1},
+      {Family::kHypercube, 1},
+  };
+
+  Table t({"pattern", "host", "cut LB (ticks)", "measured (ticks)",
+           "LB slowdown", "measured slowdown", "verdict"});
+  double fft_on_line = 0, fft_on_cube = 0;
+  double stencil_on_line = 0, a2a_on_line = 0;
+  for (const AlgorithmPattern& pattern : standard_patterns(256)) {
+    for (const auto& [hf, hk] : host_specs) {
+      const Machine host = make_machine(hf, pattern.processors, hk, rng);
+      const PatternExecution ex = execute_pattern(pattern, host, rng);
+      const bool ok =
+          static_cast<double>(ex.measured_time) >= ex.cut_lower_bound * 0.99;
+      verdict.check(ok, pattern.name + " on " + host.name +
+                            ": measured below cut bound");
+      t.add_row({ex.pattern_name, ex.host_name,
+                 Table::num(ex.cut_lower_bound, 1),
+                 Table::integer((long long)ex.measured_time),
+                 Table::num(ex.bound_slowdown, 2),
+                 Table::num(ex.measured_slowdown, 2), ok ? "PASS" : "CHECK"});
+      if (pattern.name.rfind("FFT", 0) == 0) {
+        if (hf == Family::kLinearArray) fft_on_line = ex.measured_slowdown;
+        if (hf == Family::kHypercube) fft_on_cube = ex.measured_slowdown;
+      }
+      if (hf == Family::kLinearArray) {
+        if (pattern.name.rfind("Stencil", 0) == 0) {
+          stencil_on_line = ex.measured_slowdown;
+        }
+        if (pattern.name.rfind("AllToAll", 0) == 0) {
+          a2a_on_line = ex.measured_slowdown;
+        }
+      }
+    }
+  }
+  t.print(std::cout);
+
+  // Qualitative shape of the §3 claim.
+  verdict.check(fft_on_line > 4.0 * fft_on_cube,
+                "FFT is bandwidth-starved on the line, native on the cube");
+  verdict.check(a2a_on_line > 4.0 * stencil_on_line,
+                "all-to-all suffers more than the local stencil on a line");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

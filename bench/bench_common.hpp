@@ -1,0 +1,124 @@
+#pragma once
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures.  Each bench is a standalone executable printing an ASCII
+// table plus a PASS/CHECK verdict line per row, so `for b in build/bench/*`
+// produces the whole evaluation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netemu/bandwidth/theory.hpp"
+#include "netemu/topology/factory.hpp"
+#include "netemu/util/stats.hpp"
+#include "netemu/util/table.hpp"
+
+namespace netemu::bench {
+
+/// Machine ladder: instances of one family at geometrically growing sizes.
+struct Ladder {
+  Family family;
+  unsigned k;
+  std::vector<std::size_t> targets;
+  const char* note = "";
+};
+
+inline std::string ladder_label(const Ladder& l) {
+  std::string s = family_name(l.family);
+  if (family_is_dimensional(l.family)) s += std::to_string(l.k);
+  return s;
+}
+
+/// The Table 4 measurement ladders.  Sizes are capped per family by the
+/// router in use: algebraically-routed families scale further than the
+/// BFS-routed ones (whose distance-field cache is the limit).
+inline std::vector<Ladder> table4_ladders() {
+  return {
+      {Family::kLinearArray, 1, {64, 128, 256, 512}},
+      {Family::kRing, 1, {64, 128, 256, 512}},
+      {Family::kGlobalBus, 1, {64, 128, 256, 512}},
+      {Family::kTree, 1, {63, 127, 255, 511, 1023}},
+      {Family::kFatTree, 1, {63, 127, 255, 511, 1023}},
+      {Family::kWeakPPN, 1, {63, 127, 255, 511, 1023}},
+      {Family::kXTree, 1, {63, 127, 255, 511, 1023, 2047, 4095}},
+      {Family::kMesh, 2, {64, 256, 1024, 4096}},
+      {Family::kMesh, 3, {64, 512, 4096}},
+      {Family::kTorus, 2, {64, 256, 1024, 4096}},
+      {Family::kXGrid, 2, {64, 256, 1024, 4096}},
+      {Family::kMeshOfTrees, 2, {176, 736, 3008}, "sides 8/16/32"},
+      {Family::kMultigrid, 2, {85, 341, 1365, 5461}},
+      {Family::kPyramid, 2, {85, 341, 1365, 5461}},
+      {Family::kButterfly, 1, {192, 448, 1024, 2304, 5120, 11264}},
+      {Family::kWrappedButterfly, 1, {160, 384, 896, 2048, 4608}},
+      {Family::kDeBruijn, 1, {64, 256, 1024, 4096}},
+      {Family::kShuffleExchange, 1, {64, 256, 1024, 4096, 8192}},
+      {Family::kCCC, 1, {160, 384, 896, 2048, 4608}},
+      {Family::kHypercube, 1, {64, 256, 1024, 4096}},
+      {Family::kMultibutterfly, 1, {192, 448, 1024, 2304, 5120}},
+      {Family::kExpander, 1, {64, 256, 1024, 4096}},
+  };
+}
+
+/// Exit-code accumulator: benches return nonzero when a shape check fails,
+/// without aborting the remaining rows.
+class Verdict {
+ public:
+  void check(bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures_;
+      std::cout << "CHECK FAILED: " << what << "\n";
+    }
+  }
+  int exit_code() const { return failures_ == 0 ? 0 : 1; }
+  int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n\n";
+}
+
+/// Minimal ASCII log-log chart: one row per x, bars proportional to
+/// lg(value); series glyphs overlaid left to right.
+inline void ascii_loglog_chart(
+    const std::vector<double>& xs,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    int width = 60) {
+  double lo = 1e300, hi = 0;
+  for (const auto& [name, ys] : series) {
+    for (double y : ys) {
+      if (y > 0) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+  }
+  if (hi <= lo) hi = lo + 1;
+  const double llo = std::log2(lo), lhi = std::log2(hi);
+  const char glyphs[] = "*o+x";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::string line(static_cast<std::size_t>(width) + 1, ' ');
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double y = series[s].second[i];
+      if (y <= 0) continue;
+      const int pos = static_cast<int>(
+          (std::log2(y) - llo) / (lhi - llo) * width);
+      line[static_cast<std::size_t>(std::clamp(pos, 0, width))] =
+          glyphs[s % 4];
+    }
+    std::printf("  %10.0f |%s\n", xs[i], line.c_str());
+  }
+  std::printf("  %10s  ", "");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::printf("[%c %s] ", glyphs[s % 4], series[s].first.c_str());
+  }
+  std::printf("   (log2 scale %.1f..%.1f)\n", llo, lhi);
+}
+
+}  // namespace netemu::bench

@@ -1,0 +1,97 @@
+// Reproduces Figure 1: communication-induced vs load-induced slowdown as
+// the host size varies, for the paper's running example — de Bruijn guest
+// on 2-dimensional mesh hosts.
+//
+// Two theory curves are printed per host size m:
+//   T_load = |G|/m            (linear upper-bound scaling)
+//   S_comm = β(G)/β(H(m))     (bandwidth lower bound)
+// Their crossing is the smallest achievable slowdown / largest efficient
+// host, predicted at m* = Θ(lg² |G|).  A measured emulation series at small
+// scale brackets the curves from above.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "netemu/bandwidth/asymptotic.hpp"
+#include "netemu/emulation/bounds.hpp"
+#include "netemu/emulation/engine.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Figure 1: load-bound vs bandwidth-bound crossover");
+  Verdict verdict;
+
+  const double n = 1 << 20;
+  std::cout << "Guest: DeBruijn, |G| = 2^20.  Host: Mesh2 of size m.\n\n";
+  Table theory({"m", "T_load = n/m", "S_comm = beta(G)/beta(H)",
+                "binding bound"});
+  double crossover_m = 0;
+  for (double m = 4; m <= n; m *= 4) {
+    const SlowdownBounds b =
+        slowdown_bounds(Family::kDeBruijn, 1, n, Family::kMesh, 2, m);
+    if (crossover_m == 0 && b.bandwidth >= b.load) crossover_m = m;
+    theory.add_row({Table::num(m, 0), Table::num(b.load, 1),
+                    Table::num(b.bandwidth, 1),
+                    b.load >= b.bandwidth ? "load" : "bandwidth"});
+  }
+  theory.print(std::cout);
+
+  // Figure 1's picture: the linear load curve against the bandwidth curve.
+  {
+    std::vector<double> ms;
+    std::vector<double> load_curve, comm_curve;
+    for (double m = 4; m <= n; m *= 4) {
+      const SlowdownBounds b =
+          slowdown_bounds(Family::kDeBruijn, 1, n, Family::kMesh, 2, m);
+      ms.push_back(m);
+      load_curve.push_back(b.load);
+      comm_curve.push_back(b.bandwidth);
+    }
+    std::cout << "\n       m (host)  slowdown bounds\n";
+    ascii_loglog_chart(ms, {{"T_load = n/m", load_curve},
+                            {"S_comm = beta(G)/beta(H)", comm_curve}});
+  }
+
+  const HostSizeSolution sol = solve_max_host(
+      beta_theory(Family::kDeBruijn), beta_theory(Family::kMesh, 2), n);
+  const double lg = std::log2(n);
+  std::cout << "\nExact crossover m* = " << Table::num(sol.numeric, 0)
+            << "  (" << sol.form.to_string() << ", lg^2 n = "
+            << Table::num(lg * lg, 0) << ")\n";
+  verdict.check(sol.numeric >= crossover_m / 8 &&
+                    sol.numeric <= crossover_m * 8,
+                "solver crossover consistent with curve scan");
+  // m* should track lg² n within a constant.
+  verdict.check(sol.numeric / (lg * lg) > 0.1 &&
+                    sol.numeric / (lg * lg) < 10.0,
+                "crossover lands at Theta(lg^2 n) scale");
+
+  // --- measured series ------------------------------------------------------
+  std::cout << "\nMeasured emulation (DeBruijn(1024) guest, Mesh2 hosts):\n\n";
+  Prng rng(13);
+  const Machine guest = make_debruijn(10);
+  Table measured({"m", "measured S", "max(T_load, S_comm) (theory, Omega)"});
+  bool all_above = true;
+  for (std::uint32_t side : {2u, 4u, 8u, 16u, 32u}) {
+    const Machine host = make_mesh({side, side});
+    EmulationOptions opt;
+    opt.guest_steps = 2;
+    const EmulationResult r = emulate(guest, host, rng, opt);
+    const SlowdownBounds b = slowdown_bounds(
+        Family::kDeBruijn, 1, 1024.0, Family::kMesh, 2,
+        static_cast<double>(host.graph.num_vertices()));
+    measured.add_row({Table::integer(side * side),
+                      Table::num(r.slowdown, 1),
+                      Table::num(b.combined, 1)});
+    // Ω-bound with 4x constant slack.
+    if (r.slowdown * 4.0 < b.combined) all_above = false;
+  }
+  measured.print(std::cout);
+  verdict.check(all_above,
+                "measured slowdown sits above the Omega lower bound");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks of the simulator kernels themselves:
+// BFS, router path generation, packet-simulation ticks, KL bisection,
+// Fiedler iteration.  These time the *infrastructure*, not the paper's
+// claims; they exist so performance regressions in the kernels are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "netemu/cut/bisection.hpp"
+#include "netemu/cut/spectral.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/routing/bfs_router.hpp"
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/routing/throughput.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace {
+
+using namespace netemu;
+
+void BM_BfsDistances(benchmark::State& state) {
+  const Machine m = make_mesh({static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(0))});
+  Vertex src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(m.graph, src));
+    src = (src + 7) % m.graph.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.graph.num_vertices()));
+}
+BENCHMARK(BM_BfsDistances)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RouterPath(benchmark::State& state) {
+  Prng rng(1);
+  const Machine m = make_debruijn(static_cast<unsigned>(state.range(0)));
+  const auto router = make_default_router(m);
+  const std::size_t n = m.graph.num_vertices();
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    benchmark::DoNotOptimize(router->route(u, v, rng));
+  }
+}
+BENCHMARK(BM_RouterPath)->Arg(8)->Arg(12);
+
+void BM_BfsRouterCachedPath(benchmark::State& state) {
+  Prng rng(2);
+  const Machine m = make_ccc(static_cast<unsigned>(state.range(0)));
+  BfsRouter router(m);
+  const std::size_t n = m.graph.num_vertices();
+  // Warm one destination so steady-state path walks are measured.
+  router.route(0, static_cast<Vertex>(n - 1), rng);
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    benchmark::DoNotOptimize(router.route(u, static_cast<Vertex>(n - 1), rng));
+  }
+}
+BENCHMARK(BM_BfsRouterCachedPath)->Arg(6)->Arg(8);
+
+void BM_PacketBatch(benchmark::State& state) {
+  Prng rng(3);
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const Machine m = make_mesh({side, side});
+  const std::size_t n = m.graph.num_vertices();
+  std::vector<Vertex> procs(n);
+  for (std::size_t i = 0; i < n; ++i) procs[i] = static_cast<Vertex>(i);
+  const auto traffic = TrafficDistribution::symmetric(procs);
+  const auto router = make_default_router(m);
+  std::vector<std::vector<Vertex>> paths;
+  for (const Message& msg : traffic.batch(8 * n, rng)) {
+    paths.push_back(router->route(msg.src, msg.dst, rng));
+  }
+  PacketSimulator sim(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_batch(paths, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_PacketBatch)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_KlBisection(benchmark::State& state) {
+  Prng rng(4);
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const Machine m = make_mesh({side, side});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kl_bisection(m.graph, rng, 4));
+  }
+}
+BENCHMARK(BM_KlBisection)->Arg(8)->Arg(16);
+
+void BM_Fiedler(benchmark::State& state) {
+  Prng rng(5);
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const Machine m = make_mesh({side, side});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fiedler_value(m.graph, rng, 500));
+  }
+}
+BENCHMARK(BM_Fiedler)->Arg(8)->Arg(16);
+
+void BM_ThroughputMeasurement(benchmark::State& state) {
+  Prng rng(6);
+  const Machine m = make_mesh({16, 16});
+  std::vector<Vertex> procs(256);
+  for (std::size_t i = 0; i < 256; ++i) procs[i] = static_cast<Vertex>(i);
+  const auto traffic = TrafficDistribution::symmetric(procs);
+  const auto router = make_default_router(m);
+  ThroughputOptions opt;
+  opt.trials = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_throughput(m, *router, traffic, rng, opt));
+  }
+}
+BENCHMARK(BM_ThroughputMeasurement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

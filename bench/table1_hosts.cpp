@@ -1,0 +1,54 @@
+// Reproduces Table 1: maximum host sizes for efficient emulation of
+// j-dimensional Meshes, Tori, and X-Grids, derived mechanically from the
+// bandwidth registry (symbolic Θ-form + numeric root at |G| = 2^20).
+//
+// Empirical spot-check: for a 2-d mesh guest on a linear-array host the
+// derived maximum is Θ(|G|^{1/2}); we run the actual emulation engine with
+// hosts below and above that threshold and verify the measured inefficiency
+// I = |H|·S/|G| degrades across it.
+
+#include "bench_common.hpp"
+#include "netemu/emulation/engine.hpp"
+#include "netemu/emulation/tables.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Table 1: max host sizes, guests = j-dim Mesh / Torus / XGrid");
+  Verdict verdict;
+
+  paper_table1({1, 2, 3}, 1 << 20).print(std::cout);
+
+  // --- empirical spot check ------------------------------------------------
+  std::cout << "\nSpot check: Mesh2(32x32) guest on LinearArray hosts.\n"
+               "Derived max host = Θ(|G|^{1/2}) = 32 here; inefficiency\n"
+               "I = |H|·S/|G| should stay O(1) below and grow above it.\n\n";
+  Prng rng(7);
+  const Machine guest = make_mesh({32, 32});
+  Table t({"|H|", "slowdown S", "inefficiency I", "load bound n/m"});
+  std::vector<double> ineff;
+  for (std::size_t m : {8, 32, 128, 512}) {
+    const Machine host = make_linear_array(m);
+    EmulationOptions opt;
+    opt.guest_steps = 2;
+    const EmulationResult r = emulate(guest, host, rng, opt);
+    const double inefficiency =
+        static_cast<double>(m) * r.slowdown / 1024.0;
+    ineff.push_back(inefficiency);
+    t.add_row({Table::integer(static_cast<long long>(m)),
+               Table::num(r.slowdown, 1), Table::num(inefficiency, 2),
+               Table::num(1024.0 / static_cast<double>(m), 1)});
+  }
+  t.print(std::cout);
+  // Below the threshold the work overhead is a small constant; far above it
+  // the bandwidth wall makes added processors pure waste.
+  verdict.check(ineff.front() < 4.0, "inefficiency O(1) below threshold");
+  verdict.check(ineff.back() > 2.0 * ineff.front(),
+                "inefficiency grows past the bandwidth threshold");
+  verdict.check(ineff[3] > ineff[1],
+                "monotone degradation beyond max host size");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

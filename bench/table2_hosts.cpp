@@ -1,0 +1,45 @@
+// Reproduces Table 2: maximum host sizes for efficient emulation of
+// j-dimensional Mesh-of-Trees, Multigrids, and Pyramids.
+//
+// These guests share the mesh's bisection (β = Θ(n^{(j-1)/j})) but have
+// logarithmic Λ, so their Table-2 entries coincide with Table 1's — which
+// the bench verifies mechanically row by row.
+
+#include "bench_common.hpp"
+#include "netemu/emulation/host_size.hpp"
+#include "netemu/emulation/tables.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header(
+      "Table 2: max host sizes, guests = j-dim MeshOfTrees / Multigrid / "
+      "Pyramid");
+  Verdict verdict;
+
+  paper_table2({1, 2, 3}, 1 << 20).print(std::cout);
+
+  // Cross-check the paper's observation that Theorem 3/4 guests inherit the
+  // mesh exponents: every (host, j) entry must match the Mesh_j guest entry.
+  const auto hosts = standard_hosts();
+  for (unsigned j = 1; j <= 3; ++j) {
+    for (const HostSpec& host : hosts) {
+      const auto mesh = max_host_size(Family::kMesh, j, 1 << 20, host);
+      for (Family guest : {Family::kMeshOfTrees, Family::kMultigrid,
+                           Family::kPyramid}) {
+        const auto entry = max_host_size(guest, j, 1 << 20, host);
+        verdict.check(entry.symbolic == mesh.symbolic,
+                      std::string(family_name(guest)) + std::to_string(j) +
+                          " on " + host.label() + ": " + entry.symbolic +
+                          " != mesh entry " + mesh.symbolic);
+      }
+    }
+  }
+  std::cout << "\nAll Table 2 entries match the corresponding Table 1 mesh "
+               "entries (guests share the mesh's bandwidth exponent): "
+            << (verdict.failures() == 0 ? "yes" : "NO") << "\n";
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

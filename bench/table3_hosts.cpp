@@ -1,0 +1,87 @@
+// Reproduces Table 3: maximum host sizes for efficient emulation of
+// Butterflies, de Bruijn graphs, Shuffle-Exchanges, Cube-Connected-Cycles,
+// Multibutterflies, Expanders, and Weak Hypercubes (all β = Θ(n / lg n)).
+//
+// Expected shapes (derived exactly as the paper does):
+//   constant-bandwidth hosts (LinearArray/Tree/Bus/WeakPPN):  Θ(lg |G|)
+//   X-Tree:                                       Θ(lg |G| · lg lg |G|)
+//   k-dim Mesh / Pyramid / Multigrid / MoT / XGrid:        Θ(lg^k |G|)
+//
+// Empirical spot check: de Bruijn guest on 2-d mesh hosts across the
+// predicted Θ(lg² n) threshold.
+
+#include "bench_common.hpp"
+#include "netemu/emulation/engine.hpp"
+#include "netemu/emulation/tables.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header(
+      "Table 3: max host sizes, guests = Butterfly / DeBruijn / SE / CCC / "
+      "Multibutterfly / Expander / WeakHypercube");
+  Verdict verdict;
+
+  paper_table3(1 << 20).print(std::cout);
+
+  // Mechanical shape assertions on every row.
+  const auto hosts = standard_hosts({1, 2, 3});
+  const Family guests[] = {
+      Family::kButterfly,      Family::kDeBruijn, Family::kShuffleExchange,
+      Family::kCCC,            Family::kMultibutterfly,
+      Family::kExpander,       Family::kHypercube,
+  };
+  for (Family g : guests) {
+    for (const HostSpec& h : hosts) {
+      const auto e = max_host_size(g, 1, 1 << 20, h);
+      std::string expect;
+      switch (h.family) {
+        case Family::kLinearArray:
+        case Family::kTree:
+        case Family::kGlobalBus:
+        case Family::kWeakPPN:
+          expect = "Θ(lg |G|)";
+          break;
+        case Family::kXTree:
+          expect = "Θ(lg |G| lg lg |G|)";
+          break;
+        default:  // k-dim mesh-bandwidth hosts
+          expect = h.k == 1 ? "Θ(lg |G|)"
+                            : "Θ(lg |G|^" + std::to_string(h.k) + ")";
+      }
+      verdict.check(e.symbolic == expect,
+                    std::string(family_name(g)) + " on " + h.label() + ": " +
+                        e.symbolic + " != " + expect);
+    }
+  }
+
+  // --- empirical spot check: the paper's flagship example ------------------
+  std::cout << "\nSpot check: DeBruijn(4096) guest on Mesh2 hosts.\n"
+               "Derived max host = Θ(lg² |G|) = 144 here; inefficiency\n"
+               "I = |H|·S/|G| should degrade beyond it.\n\n";
+  Prng rng(11);
+  const Machine guest = make_debruijn(12);
+  Table t({"|H|", "slowdown S", "inefficiency I", "load bound n/m"});
+  std::vector<double> ineff;
+  for (std::uint32_t side : {4u, 12u, 32u, 64u}) {
+    const Machine host = make_mesh({side, side});
+    EmulationOptions opt;
+    opt.guest_steps = 2;
+    const EmulationResult r = emulate(guest, host, rng, opt);
+    const double n = static_cast<double>(guest.graph.num_vertices());
+    const double inefficiency =
+        static_cast<double>(host.graph.num_vertices()) * r.slowdown / n;
+    ineff.push_back(inefficiency);
+    t.add_row({Table::integer(side * side), Table::num(r.slowdown, 1),
+               Table::num(inefficiency, 2),
+               Table::num(n / (side * side), 1)});
+  }
+  t.print(std::cout);
+  verdict.check(ineff[0] < 6.0, "inefficiency O(1) below lg^2 threshold");
+  verdict.check(ineff.back() > 2.0 * ineff.front(),
+                "inefficiency degrades past lg^2 threshold");
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

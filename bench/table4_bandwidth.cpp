@@ -1,0 +1,73 @@
+// Reproduces Table 4: β (delivery rate under symmetric traffic) per machine
+// family, measured with the packet simulator over a ladder of sizes, then
+// fitted on log-log axes against the paper's closed form.  Λ is checked as
+// the measured diameter against its Θ-form.  Shape criterion: after dividing
+// out the known lg-factor, the fitted exponent of n must be within ±0.15 of
+// the paper's (±0.2 for the noisier randomized families).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "netemu/bandwidth/empirical.hpp"
+#include "netemu/graph/algorithms.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header("Table 4: bandwidth beta and minimal time Lambda per family");
+  Prng rng(20260707);
+  Verdict verdict;
+
+  Table table({"Machine", "sizes", "beta-hat (measured)", "fit n-exp",
+               "paper n-exp", "Lambda fit", "paper Lambda", "verdict"});
+
+  for (const Ladder& ladder : table4_ladders()) {
+    const AsymFn beta = beta_theory(ladder.family, ladder.k);
+    const AsymFn lambda = lambda_theory(ladder.family, ladder.k);
+
+    std::vector<double> sizes, rates, diams;
+    std::string rate_cells, size_cells;
+    for (std::size_t target : ladder.targets) {
+      const Machine m = make_machine(ladder.family, target, ladder.k, rng);
+      ThroughputOptions opt;
+      opt.trials = 2;
+      const double rate = measure_beta_simulated(m, rng, opt);
+      sizes.push_back(static_cast<double>(m.graph.num_vertices()));
+      rates.push_back(rate);
+      diams.push_back(static_cast<double>(diameter_double_sweep(m.graph, rng)));
+      if (!size_cells.empty()) {
+        size_cells += ",";
+        rate_cells += ",";
+      }
+      size_cells += Table::num(sizes.back(), 0);
+      rate_cells += Table::num(rate, 1);
+    }
+
+    // Divide out the paper's lg-factor, then the residual slope must match
+    // the paper's n-exponent.
+    const PowerFit beta_fit = fit_power_with_log(sizes, rates, beta.q);
+    const PowerFit lam_fit = fit_power_with_log(sizes, diams, lambda.q);
+
+    const bool randomized = ladder.family == Family::kExpander ||
+                            ladder.family == Family::kMultibutterfly;
+    const double tol = randomized ? 0.2 : 0.15;
+    const bool beta_ok = std::abs(beta_fit.exponent - beta.p) <= tol;
+    const bool lam_ok = std::abs(lam_fit.exponent - lambda.p) <= 0.2;
+    verdict.check(beta_ok, ladder_label(ladder) + " beta exponent " +
+                               Table::num(beta_fit.exponent) + " vs " +
+                               Table::num(beta.p));
+    verdict.check(lam_ok, ladder_label(ladder) + " Lambda exponent " +
+                              Table::num(lam_fit.exponent) + " vs " +
+                              Table::num(lambda.p));
+
+    table.add_row({ladder_label(ladder), size_cells, rate_cells,
+                   Table::num(beta_fit.exponent, 2), beta.theta_string(),
+                   Table::num(lam_fit.exponent, 2), lambda.theta_string(),
+                   beta_ok && lam_ok ? "PASS" : "CHECK"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

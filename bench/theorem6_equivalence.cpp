@@ -1,0 +1,58 @@
+// Reproduces Theorem 6: the operational bandwidth (simulated delivery rate
+// under symmetric traffic) coincides, up to constants, with the
+// graph-theoretic bandwidth E(T)/C(H,T) and with the cut/flux upper bounds.
+// For each family the three estimators must agree within a bounded ratio.
+
+#include "bench_common.hpp"
+#include "netemu/bandwidth/empirical.hpp"
+#include "netemu/embedding/congestion_witness.hpp"
+#include "netemu/traffic/traffic_graph.hpp"
+
+using namespace netemu;
+using namespace netemu::bench;
+
+int main() {
+  print_header(
+      "Theorem 6: operational beta == graph-theoretic beta (per family)");
+  Prng rng(23);
+  Verdict verdict;
+
+  Table t({"machine", "n", "beta-hat (sim)", "E(T)/C(H,T)", "2*bisection",
+           "E/avgdist", "sim/graph", "verdict"});
+
+  for (Family f : all_families()) {
+    const unsigned k = family_is_dimensional(f) ? 2 : 1;
+    const Machine m = make_machine(f, 256, k, rng);
+
+    BetaMeasureOptions opt;
+    opt.throughput.trials = 2;
+    const BetaBounds bounds = measure_beta(m, rng, opt);
+
+    // Graph-theoretic side: K_n on the processor set, shortest-path witness.
+    std::vector<Vertex> procs;
+    for (std::size_t i = 0; i < m.num_processors(); ++i) {
+      procs.push_back(m.processor(i));
+    }
+    const Multigraph kn =
+        symmetric_traffic_graph(m.graph.num_vertices(), procs);
+    const CongestionWitness w = congestion_witness(m, kn, rng);
+
+    const double ratio = w.beta_graph > 0 ? bounds.simulated / w.beta_graph
+                                          : 0.0;
+    // Theorem 6's Θ: the simulated rate tracks E(T)/C within a constant.
+    // Weak machines (node-capped) sit below the wire-only witness, so the
+    // acceptance window is one-sided wider there.
+    const bool weak = !m.forward_cap.empty();
+    const bool ok = ratio > (weak ? 0.1 : 0.25) && ratio < 6.0;
+    verdict.check(ok, m.name + " sim/graph ratio " + Table::num(ratio, 2));
+    t.add_row({m.name, Table::integer((long long)m.graph.num_vertices()),
+               Table::num(bounds.simulated, 2), Table::num(w.beta_graph, 2),
+               Table::num(bounds.cut_upper, 1),
+               Table::num(bounds.flux_upper, 1), Table::num(ratio, 2),
+               ok ? "PASS" : "CHECK"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfailures: " << verdict.failures() << "\n";
+  return verdict.exit_code();
+}

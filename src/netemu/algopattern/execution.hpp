@@ -1,0 +1,48 @@
+#pragma once
+// Executing an algorithm pattern on a host machine: the Lemma 8 cut lower
+// bound on the routing time of the pattern's messages, and the measured
+// time from actually running every round through the packet simulator.
+//
+// This is the machinery behind the paper's algorithm-level corollary: a
+// lower bound on the bandwidth demand of an algorithm's communication
+// pattern is a lower bound on the slowdown of ANY efficient redundant
+// simulation of that algorithm on the host.
+
+#include "netemu/algopattern/patterns.hpp"
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+struct PatternExecution {
+  std::string pattern_name;
+  std::string host_name;
+  std::size_t host_processors = 0;
+  std::uint32_t native_rounds = 0;
+
+  /// Lemma 8 / flux bound: messages forced across a (KL-)balanced host cut
+  /// divided by the cut's wire count — a valid lower bound on total routing
+  /// time for ANY schedule.
+  double cut_lower_bound = 0.0;
+
+  /// Sum of per-round makespans from the packet simulator (an achieved
+  /// schedule, hence an upper bound on the optimum).
+  std::uint64_t measured_time = 0;
+
+  double bound_slowdown = 0.0;     ///< cut_lower_bound / native_rounds
+  double measured_slowdown = 0.0;  ///< measured_time / native_rounds
+};
+
+struct PatternExecutionOptions {
+  Arbitration arbitration = Arbitration::kFarthestFirst;
+  unsigned kl_restarts = 6;
+};
+
+/// Pattern processors are assigned to host processors round-robin-free:
+/// slot i -> host.processor(i % P) when the pattern is larger than the host
+/// (contiguous blocks, preserving pattern index locality), 1-to-1 otherwise.
+PatternExecution execute_pattern(const AlgorithmPattern& pattern,
+                                 const Machine& host, Prng& rng,
+                                 const PatternExecutionOptions& options = {});
+
+}  // namespace netemu

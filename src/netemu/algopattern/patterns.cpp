@@ -1,0 +1,196 @@
+#include "netemu/algopattern/patterns.hpp"
+
+#include <cassert>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+namespace {
+
+/// Build the aggregate multigraph from the rounds.
+Multigraph aggregate(std::size_t n,
+                     const std::vector<std::vector<Message>>& rounds) {
+  MultigraphBuilder b(n);
+  for (const auto& round : rounds) {
+    for (const Message& m : round) {
+      if (m.src != m.dst) b.add_edge(m.src, m.dst);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+AlgorithmPattern fft_pattern(unsigned d) {
+  assert(d >= 1);
+  const std::size_t n = ipow(2, d);
+  AlgorithmPattern p;
+  p.name = "FFT(2^" + std::to_string(d) + ")";
+  p.processors = n;
+  p.rounds = d;
+  for (unsigned i = 0; i < d; ++i) {
+    std::vector<Message> round;
+    round.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      round.push_back({static_cast<Vertex>(u),
+                       static_cast<Vertex>(u ^ (1ULL << i))});
+    }
+    p.round_messages.push_back(std::move(round));
+  }
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern bitonic_sort_pattern(unsigned d) {
+  assert(d >= 1);
+  const std::size_t n = ipow(2, d);
+  AlgorithmPattern p;
+  p.name = "BitonicSort(2^" + std::to_string(d) + ")";
+  p.processors = n;
+  for (unsigned stage = 1; stage <= d; ++stage) {
+    for (unsigned sub = stage; sub-- > 0;) {
+      std::vector<Message> round;
+      round.reserve(n);
+      for (std::size_t u = 0; u < n; ++u) {
+        round.push_back({static_cast<Vertex>(u),
+                         static_cast<Vertex>(u ^ (1ULL << sub))});
+      }
+      p.round_messages.push_back(std::move(round));
+    }
+  }
+  p.rounds = static_cast<std::uint32_t>(p.round_messages.size());
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern transpose_pattern(std::uint32_t side) {
+  assert(side >= 2);
+  const std::size_t n = static_cast<std::size_t>(side) * side;
+  AlgorithmPattern p;
+  p.name = "Transpose(" + std::to_string(side) + "x" + std::to_string(side) +
+           ")";
+  p.processors = n;
+  p.rounds = 1;
+  std::vector<Message> round;
+  for (std::uint32_t r = 0; r < side; ++r) {
+    for (std::uint32_t c = 0; c < side; ++c) {
+      if (r != c) {
+        round.push_back({static_cast<Vertex>(r * side + c),
+                         static_cast<Vertex>(c * side + r)});
+      }
+    }
+  }
+  p.round_messages.push_back(std::move(round));
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern parallel_prefix_pattern(std::size_t n) {
+  assert(n >= 2);
+  AlgorithmPattern p;
+  p.name = "ParallelPrefix(" + std::to_string(n) + ")";
+  p.processors = n;
+  for (std::size_t hop = 1; hop < n; hop *= 2) {
+    std::vector<Message> round;
+    for (std::size_t u = 0; u + hop < n; ++u) {
+      round.push_back({static_cast<Vertex>(u),
+                       static_cast<Vertex>(u + hop)});
+    }
+    p.round_messages.push_back(std::move(round));
+  }
+  p.rounds = static_cast<std::uint32_t>(p.round_messages.size());
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern stencil_pattern(const std::vector<std::uint32_t>& sides,
+                                 std::uint32_t rounds) {
+  std::size_t n = 1;
+  for (std::uint32_t s : sides) n *= s;
+  AlgorithmPattern p;
+  p.name = "Stencil" + std::to_string(sides.size()) + "(" +
+           std::to_string(n) + "x" + std::to_string(rounds) + "r)";
+  p.processors = n;
+  p.rounds = rounds;
+
+  // One round: exchange with every axis neighbor, both directions.
+  std::vector<Message> one_round;
+  std::vector<std::uint32_t> coord(sides.size(), 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    std::size_t stride = n;
+    for (std::size_t d2 = 0; d2 < sides.size(); ++d2) {
+      stride /= sides[d2];
+      if (coord[d2] + 1 < sides[d2]) {
+        one_round.push_back({static_cast<Vertex>(u),
+                             static_cast<Vertex>(u + stride)});
+        one_round.push_back({static_cast<Vertex>(u + stride),
+                             static_cast<Vertex>(u)});
+      }
+    }
+    for (std::size_t d2 = sides.size(); d2-- > 0;) {
+      if (++coord[d2] < sides[d2]) break;
+      coord[d2] = 0;
+    }
+  }
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    p.round_messages.push_back(one_round);
+  }
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern all_to_all_pattern(std::size_t n) {
+  assert(n >= 2);
+  AlgorithmPattern p;
+  p.name = "AllToAll(" + std::to_string(n) + ")";
+  p.processors = n;
+  p.rounds = 1;
+  std::vector<Message> round;
+  round.reserve(n * (n - 1));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v) {
+        round.push_back({static_cast<Vertex>(u), static_cast<Vertex>(v)});
+      }
+    }
+  }
+  p.round_messages.push_back(std::move(round));
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+AlgorithmPattern odd_even_transposition_pattern(std::size_t n) {
+  assert(n >= 2);
+  AlgorithmPattern p;
+  p.name = "OddEvenSort(" + std::to_string(n) + ")";
+  p.processors = n;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<Message> round;
+    for (std::size_t u = r % 2; u + 1 < n; u += 2) {
+      round.push_back({static_cast<Vertex>(u), static_cast<Vertex>(u + 1)});
+      round.push_back({static_cast<Vertex>(u + 1), static_cast<Vertex>(u)});
+    }
+    p.round_messages.push_back(std::move(round));
+  }
+  p.rounds = static_cast<std::uint32_t>(p.round_messages.size());
+  p.traffic = aggregate(n, p.round_messages);
+  return p;
+}
+
+std::vector<AlgorithmPattern> standard_patterns(std::size_t target) {
+  const auto d = static_cast<unsigned>(ceil_log2(target));
+  const auto side = static_cast<std::uint32_t>(
+      ipow(2, static_cast<unsigned>(ceil_log2(target) / 2)));
+  return {
+      fft_pattern(d),
+      bitonic_sort_pattern(d),
+      transpose_pattern(side),
+      parallel_prefix_pattern(target),
+      stencil_pattern({side, side}, 4),
+      all_to_all_pattern(std::min<std::size_t>(target, 256)),
+      odd_even_transposition_pattern(std::min<std::size_t>(target, 256)),
+  };
+}
+
+}  // namespace netemu

@@ -1,0 +1,66 @@
+#pragma once
+// Algorithm communication patterns — the paper's announced extension (§3 /
+// [15]): "Algorithms are treated as collections of communication patterns
+// ... Lower bounds are obtained on the bandwidth of these circuits, yielding
+// lower bounds on the bandwidth of any communication pattern induced by any
+// efficient redundant simulation of the algorithm on a host."
+//
+// Each classic parallel algorithm is captured as its per-round message sets
+// plus the aggregate traffic multigraph of one full pass; Lemma 8 then gives
+// a routing-time (and hence slowdown) lower bound for executing it on any
+// host machine.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/traffic/distribution.hpp"
+
+namespace netemu {
+
+struct AlgorithmPattern {
+  std::string name;
+  std::size_t processors = 0;
+  std::uint32_t rounds = 0;       ///< rounds of one pass on the native machine
+  /// Messages of each round (ordered src -> dst).
+  std::vector<std::vector<Message>> round_messages;
+  /// Aggregate traffic multigraph of one pass (multiplicity = how often a
+  /// pair communicates across all rounds).
+  Multigraph traffic;
+};
+
+/// FFT / butterfly exchange on 2^d processors: round i pairs u with
+/// u xor 2^i.  One pass = d rounds; aggregate = the hypercube graph.
+AlgorithmPattern fft_pattern(unsigned d);
+
+/// Bitonic sort on 2^d processors: d stages, stage k has k substages
+/// pairing on descending bit positions.  d(d+1)/2 rounds; dimension j is
+/// used d-j times.
+AlgorithmPattern bitonic_sort_pattern(unsigned d);
+
+/// Matrix transpose on side x side processors (row-major): one round,
+/// (r,c) -> (c,r).
+AlgorithmPattern transpose_pattern(std::uint32_t side);
+
+/// Parallel prefix (pointer-jumping form) on n processors: round i sends
+/// u -> u + 2^i.  ceil(lg n) rounds.
+AlgorithmPattern parallel_prefix_pattern(std::size_t n);
+
+/// 5-point (2k+1-point) stencil sweep on a k-dim mesh of given sides:
+/// `rounds` rounds of nearest-neighbor exchanges in every direction.
+AlgorithmPattern stencil_pattern(const std::vector<std::uint32_t>& sides,
+                                 std::uint32_t rounds);
+
+/// All-to-all personalized exchange on n processors: one logical round in
+/// which every ordered pair communicates (K_n traffic).
+AlgorithmPattern all_to_all_pattern(std::size_t n);
+
+/// Odd-even transposition sort on a line of n processors: n rounds of
+/// alternating neighbor compare-exchanges.
+AlgorithmPattern odd_even_transposition_pattern(std::size_t n);
+
+/// All patterns at roughly `target` processors (for sweeps).
+std::vector<AlgorithmPattern> standard_patterns(std::size_t target);
+
+}  // namespace netemu

@@ -1,0 +1,162 @@
+#include "netemu/bandwidth/asymptotic.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+double AsymFn::operator()(double n) const {
+  return c * std::pow(n, p) * std::pow(lg_clamped(n), q);
+}
+
+AsymFn operator*(const AsymFn& a, const AsymFn& b) {
+  return AsymFn{a.c * b.c, a.p + b.p, a.q + b.q};
+}
+
+AsymFn operator/(const AsymFn& a, const AsymFn& b) {
+  return AsymFn{a.c / b.c, a.p - b.p, a.q - b.q};
+}
+
+std::string exponent_string(double e) {
+  if (std::abs(e - 1.0) < 1e-9) return "";
+  // Try small fractions num/den, den <= 12.
+  for (int den = 1; den <= 12; ++den) {
+    const double num = e * den;
+    if (std::abs(num - std::round(num)) < 1e-9) {
+      const auto inum = static_cast<long long>(std::llround(num));
+      std::ostringstream os;
+      if (den == 1) {
+        os << "^" << inum;
+      } else {
+        os << "^{" << inum << "/" << den << "}";
+      }
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  os << "^{" << e << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Append one factor var^e or lg^e var to a product string.
+void append_factor(std::string& out, const std::string& base, double e) {
+  if (std::abs(e) < 1e-12) return;
+  if (!out.empty()) out += " ";
+  out += base + exponent_string(e);
+}
+
+}  // namespace
+
+std::string AsymFn::theta_string(const std::string& var) const {
+  std::string num, den;
+  append_factor(p >= 0 ? num : den, var, std::abs(p));
+  append_factor(q >= 0 ? num : den, "lg " + var, std::abs(q));
+  if (num.empty()) num = "1";
+  if (!den.empty()) num += " / " + den;
+  return "Θ(" + num + ")";
+}
+
+std::string HostSizeForm::to_string(const std::string& var) const {
+  if (unconstrained) return "Θ(" + var + ")  [no bandwidth obstruction]";
+  std::string num, den;
+  append_factor(alpha >= 0 ? num : den, var, std::abs(alpha));
+  append_factor(beta >= 0 ? num : den, "lg " + var, std::abs(beta));
+  append_factor(gamma >= 0 ? num : den, "lg lg " + var, std::abs(gamma));
+  if (num.empty()) num = "1";
+  if (!den.empty()) num += " / " + den;
+  if (exponential) return "2^Θ(" + num + ")";
+  return "Θ(" + num + ")";
+}
+
+HostSizeSolution solve_max_host(const AsymFn& beta_guest,
+                                const AsymFn& beta_host, double n) {
+  HostSizeSolution sol;
+
+  // --- numeric root ------------------------------------------------------
+  // h(m) = (βG(n)/βH(m)) · (m/n) is nondecreasing in m for the Table 4
+  // hosts; the max host size is the largest m in [2, n] with h(m) <= 1.
+  const double bg = beta_guest(n);
+  auto h = [&](double m) { return bg / beta_host(m) * (m / n); };
+  if (h(n) <= 1.0 + 1e-12) {
+    sol.numeric = n;
+  } else if (h(2.0) > 1.0) {
+    sol.numeric = 2.0;  // even the trivial host is bandwidth-starved
+  } else {
+    double lo = 2.0, hi = n;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = std::sqrt(lo * hi);  // geometric bisection
+      (h(mid) <= 1.0 ? lo : hi) = mid;
+    }
+    sol.numeric = lo;
+  }
+
+  // --- closed Θ-form ------------------------------------------------------
+  // Solve m^A lg^{-b} m = n^P lg^{-q} n with A = 1-a, P = 1-p.
+  const double A = 1.0 - beta_host.p;
+  const double B = -beta_host.q;  // exponent of lg m on the LHS
+  const double P = 1.0 - beta_guest.p;
+  const double Q = -beta_guest.q;
+  HostSizeForm& f = sol.form;
+  if (std::abs(beta_guest.p - beta_host.p) < 1e-12 &&
+      std::abs(beta_guest.q - beta_host.q) < 1e-12) {
+    // Same bandwidth shape: a host of the guest's own family is never
+    // bandwidth-limited below the guest's size.
+    f.unconstrained = true;
+    f.alpha = 1.0;
+    return sol;
+  }
+  if (P < 1e-12 && Q < 1e-12) {
+    // Guest bandwidth is Θ(n) (e.g. a fat-tree): the RHS is Θ(1).  A host
+    // of strictly weaker shape can only keep up at constant size; a host of
+    // the same shape was handled by the equality branch above.
+    f.alpha = f.beta = f.gamma = 0.0;
+    return sol;
+  }
+  if (A > 1e-12) {
+    const double alpha = P / A;
+    if (alpha > 1e-12) {
+      // m is polynomial in n: lg m = Θ(lg n).
+      f.alpha = alpha;
+      f.beta = (Q - B) / A;
+      f.gamma = 0.0;
+    } else if (Q > 1e-12) {
+      // m is polylogarithmic: lg m = Θ(lg lg n).
+      f.alpha = 0.0;
+      f.beta = Q / A;
+      f.gamma = -B / A;
+    } else {
+      // Θ(1)-size host bound (degenerate; shouldn't arise in the tables).
+      f.alpha = f.beta = f.gamma = 0.0;
+    }
+  } else {
+    // A == 0: host bandwidth ~ m (up to logs).  lg^{-b} m = RHS.
+    if (B > 1e-12) {
+      f.exponential = true;
+      f.alpha = P / B;
+      f.beta = Q / B;
+    } else {
+      f.unconstrained = true;
+    }
+  }
+  // The emulation never benefits from a host larger than the guest: a
+  // solution that is Ω(n) (super-linear, or n times nonnegative log factors)
+  // means bandwidth imposes no constraint below the guest's own size.
+  const bool at_least_linear =
+      f.alpha > 1.0 + 1e-12 ||
+      (std::abs(f.alpha - 1.0) < 1e-12 &&
+       (f.beta > 1e-12 ||
+        (std::abs(f.beta) < 1e-12 && f.gamma > -1e-12)));
+  if (!f.exponential && at_least_linear) f.unconstrained = true;
+  if (f.unconstrained) {
+    f.alpha = 1.0;
+    f.beta = f.gamma = 0.0;
+    f.exponential = false;
+  }
+  return sol;
+}
+
+}  // namespace netemu

@@ -1,0 +1,60 @@
+#pragma once
+// Asymptotic algebra over functions of the form  c · n^p · lg^q n.
+//
+// Every bandwidth and Λ entry of Table 4 has this shape, so the whole of
+// Tables 1–3 can be derived *mechanically*: the maximum host size for an
+// efficient emulation solves  |G|/|H| = β(G)/β(H), i.e.
+//     m^(1-a) · lg^(-b) m  =  n^(1-p) · lg^(-q) n
+// for βG = n^p lg^q n, βH = m^a lg^b m.  solve_max_host() produces both the
+// numeric root for a concrete n and the closed Θ-form in |G| (including the
+// lg lg |G| correction that appears when the solution is polylogarithmic).
+
+#include <string>
+
+namespace netemu {
+
+/// f(n) = c · n^p · lg^q(n)  (lg clamped at 1 below n = 2).
+struct AsymFn {
+  double c = 1.0;
+  double p = 0.0;
+  double q = 0.0;
+
+  double operator()(double n) const;
+
+  /// "Θ(n^{2/3} lg n)" with exponents rendered as small fractions when
+  /// possible.  var names the variable ("n", "|G|", ...).
+  std::string theta_string(const std::string& var = "n") const;
+};
+
+AsymFn operator*(const AsymFn& a, const AsymFn& b);
+AsymFn operator/(const AsymFn& a, const AsymFn& b);
+
+/// Render exponent e as "", "^2", "^{1/2}", "^{0.37}" (fraction with
+/// denominator <= 12 when within 1e-9).
+std::string exponent_string(double e);
+
+/// Closed Θ-form of a max-host-size solution:
+///   n^alpha · lg^beta n · (lg lg n)^gamma, or 2^Θ(...) when exponential,
+///   or Θ(n) when bandwidth imposes no constraint below the guest size.
+struct HostSizeForm {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  bool exponential = false;   ///< host bandwidth grows ~linearly: m = 2^Θ(·)
+  bool unconstrained = false; ///< solution >= n: no bandwidth obstruction
+
+  std::string to_string(const std::string& var = "|G|") const;
+};
+
+struct HostSizeSolution {
+  double numeric = 0.0;     ///< largest m in [2, n] with βG(n)/βH(m) <= n/m
+  HostSizeForm form;        ///< closed Θ-form
+};
+
+/// Solve for the maximum host size given guest bandwidth βG, host bandwidth
+/// family βH, and concrete guest size n.  Requires βH nondecreasing with
+/// m/βH(m) nondecreasing (true for every Table 4 family).
+HostSizeSolution solve_max_host(const AsymFn& beta_guest,
+                                const AsymFn& beta_host, double n);
+
+}  // namespace netemu

@@ -1,0 +1,42 @@
+#pragma once
+// Bottleneck-freeness (Definition 1 of the paper, asserted for the standard
+// families "without proof"): machine H is bottleneck-free if the delivery
+// rate under ANY quasi-symmetric distribution on m <= |H| nodes is at most a
+// constant factor higher than the rate under the symmetric distribution.
+//
+// The Efficient Emulation Theorem needs this as hypothesis (2) — a machine
+// with a hidden fast sub-network could otherwise "cheat" by concentrating
+// the emulation there.  measure_bottleneck_freeness() probes the worst case
+// over pair densities and node-subset sizes and reports the largest
+// rate_quasi / rate_symmetric observed.
+
+#include <vector>
+
+#include "netemu/routing/throughput.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+struct BottleneckProbe {
+  double subset_fraction = 1.0;  ///< fraction of processors participating
+  double pair_density = 1.0;     ///< quasi-symmetric allowed-pair density
+  double rate = 0.0;
+  double ratio_to_symmetric = 0.0;
+};
+
+struct BottleneckReport {
+  double symmetric_rate = 0.0;
+  std::vector<BottleneckProbe> probes;
+  double worst_ratio = 0.0;  ///< max over probes (the Θ(1) the paper needs)
+};
+
+struct BottleneckOptions {
+  std::vector<double> subset_fractions{1.0, 0.5, 0.25};
+  std::vector<double> pair_densities{1.0, 0.5, 0.25};
+  ThroughputOptions throughput;
+};
+
+BottleneckReport measure_bottleneck_freeness(
+    const Machine& machine, Prng& rng, const BottleneckOptions& options = {});
+
+}  // namespace netemu

@@ -1,0 +1,62 @@
+#include "netemu/bandwidth/empirical.hpp"
+
+#include <algorithm>
+
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/routing/router.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::vector<Vertex> processor_list(const Machine& m) {
+  if (!m.processors.empty()) return m.processors;
+  std::vector<Vertex> all(m.graph.num_vertices());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<Vertex>(i);
+  return all;
+}
+
+}  // namespace
+
+double measure_beta_simulated(const Machine& machine, Prng& rng,
+                              const ThroughputOptions& options) {
+  const auto traffic = TrafficDistribution::symmetric(processor_list(machine));
+  const auto router = make_default_router(machine);
+  return measure_throughput(machine, *router, traffic, rng, options).rate;
+}
+
+BetaBounds measure_beta(const Machine& machine, Prng& rng,
+                        const BetaMeasureOptions& options) {
+  BetaBounds b;
+  b.simulated = measure_beta_simulated(machine, rng, options.throughput);
+
+  const Bisection bi =
+      machine.graph.num_vertices() <= 20
+          ? exact_bisection(machine.graph)
+          : kl_bisection(machine.graph, rng, options.kl_restarts);
+  b.cut_upper = 2.0 * static_cast<double>(bi.width);
+
+  const double avg_dist = avg_distance_auto(
+      machine.graph, rng, options.avg_dist_exact_cutoff);
+  if (avg_dist > 0.0) {
+    double capacity = static_cast<double>(machine.graph.total_multiplicity());
+    if (!machine.forward_cap.empty()) {
+      // A weak node contributes at most its forwarding cap per tick, no
+      // matter how many wires it has.
+      double ports = 0.0;
+      for (std::size_t v = 0; v < machine.forward_cap.size(); ++v) {
+        const double wires =
+            static_cast<double>(machine.graph.degree(static_cast<Vertex>(v)));
+        const std::uint32_t cap = machine.forward_cap[v];
+        ports += cap == kUnlimitedForward
+                     ? wires
+                     : std::min(wires, static_cast<double>(cap));
+      }
+      capacity = std::min(capacity, ports);
+    }
+    b.flux_upper = capacity / avg_dist;
+  }
+  return b;
+}
+
+}  // namespace netemu

@@ -1,0 +1,46 @@
+#pragma once
+// Empirical bandwidth estimation: the measured side of Table 4.
+//
+// Three estimators bracket β(M):
+//   * simulated  — β̂ from the packet simulator under symmetric traffic
+//                  (a lower bound witness: some schedule achieves it);
+//   * cut_upper  — 2 · bisection width (half the symmetric traffic must
+//                  cross any balanced cut, one message per wire per tick);
+//   * flux_upper — E(M) / avg distance (Lemma 10's flux argument: m messages
+//                  consume m·δ̄ wire-ticks out of E per tick).
+// For a bottleneck-free machine all three agree within constants; the
+// Theorem 6 bench prints the ratios.
+
+#include <algorithm>
+
+#include "netemu/cut/bisection.hpp"
+#include "netemu/routing/throughput.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+struct BetaBounds {
+  double simulated = 0.0;
+  double cut_upper = 0.0;
+  double flux_upper = 0.0;
+  double upper() const { return std::min(cut_upper, flux_upper); }
+};
+
+struct BetaMeasureOptions {
+  ThroughputOptions throughput;
+  unsigned kl_restarts = 8;
+  /// Sampling cutoff for exact average distance.
+  std::size_t avg_dist_exact_cutoff = 2048;
+};
+
+/// Measure all three estimators on a machine.  Weak-node capacities make the
+/// flux bound pessimistic (it counts wires, not node ports); for machines
+/// with forwarding caps the flux bound uses min(wires, total node capacity).
+BetaBounds measure_beta(const Machine& machine, Prng& rng,
+                        const BetaMeasureOptions& options = {});
+
+/// Simulated β̂ only (cheaper; used by the Table 4 ladder at larger sizes).
+double measure_beta_simulated(const Machine& machine, Prng& rng,
+                              const ThroughputOptions& options = {});
+
+}  // namespace netemu

@@ -1,0 +1,119 @@
+#include "netemu/bandwidth/theory.hpp"
+
+namespace netemu {
+
+AsymFn beta_theory(Family f, unsigned k) {
+  const double kk = static_cast<double>(k);
+  switch (f) {
+    case Family::kLinearArray:
+      return {2.0, 0.0, 0.0};  // bisection 1
+    case Family::kRing:
+      return {4.0, 0.0, 0.0};  // bisection 2
+    case Family::kGlobalBus:
+      return {1.0, 0.0, 0.0};  // one message per tick crosses the bus
+    case Family::kTree:
+    case Family::kWeakPPN:
+      return {2.0, 0.0, 0.0};  // root bottleneck
+    case Family::kFatTree:
+      return {0.5, 1.0, 0.0};  // capacity doubles per level: beta = Θ(n)
+    case Family::kXTree:
+      return {2.0, 0.0, 1.0};  // one edge per level crosses the middle
+    case Family::kMesh:
+      return {2.0, (kk - 1.0) / kk, 0.0};  // bisection side^(k-1)
+    case Family::kTorus:
+      return {4.0, (kk - 1.0) / kk, 0.0};
+    case Family::kXGrid:
+      return {6.0, (kk - 1.0) / kk, 0.0};  // axis + two diagonals per face
+    case Family::kMeshOfTrees:
+    case Family::kMultigrid:
+    case Family::kPyramid:
+      // Base-mesh-dominated bisection, Θ(n^{(k-1)/k}) in total size.
+      return {2.0, (kk - 1.0) / kk, 0.0};
+    case Family::kButterfly:
+    case Family::kWrappedButterfly:
+    case Family::kCCC:
+    case Family::kDeBruijn:
+    case Family::kShuffleExchange:
+    case Family::kMultibutterfly:
+    case Family::kExpander:
+      return {1.0, 1.0, -1.0};  // Θ(n / lg n)
+    case Family::kHypercube:
+      // Weak model: one wire per node per tick, average distance lg(n)/2.
+      return {2.0, 1.0, -1.0};
+  }
+  return {1.0, 0.0, 0.0};
+}
+
+AsymFn lambda_theory(Family f, unsigned k) {
+  const double kk = static_cast<double>(k);
+  switch (f) {
+    case Family::kLinearArray:
+      return {1.0, 1.0, 0.0};
+    case Family::kRing:
+      return {0.5, 1.0, 0.0};
+    case Family::kGlobalBus:
+      return {2.0, 0.0, 0.0};
+    case Family::kTree:
+    case Family::kFatTree:
+    case Family::kWeakPPN:
+    case Family::kXTree:
+      return {2.0, 0.0, 1.0};
+    case Family::kMesh:
+      return {kk, 1.0 / kk, 0.0};
+    case Family::kTorus:
+      return {kk / 2.0, 1.0 / kk, 0.0};
+    case Family::kXGrid:
+      return {1.0, 1.0 / kk, 0.0};
+    case Family::kMeshOfTrees:
+    case Family::kMultigrid:
+    case Family::kPyramid:
+      return {4.0, 0.0, 1.0};
+    case Family::kButterfly:
+    case Family::kWrappedButterfly:
+    case Family::kCCC:
+    case Family::kDeBruijn:
+    case Family::kShuffleExchange:
+    case Family::kMultibutterfly:
+    case Family::kHypercube:
+      return {2.0, 0.0, 1.0};
+    case Family::kExpander:
+      return {2.0, 0.0, 1.0};
+  }
+  return {1.0, 0.0, 0.0};
+}
+
+bool is_bottleneck_free(Family f) {
+  // Every family the paper tables is bottleneck-free (noted without proof
+  // in the paper); the predicate exists so tests can exercise the negative
+  // path with synthetic machines.
+  (void)f;
+  return true;
+}
+
+int theorem_for_guest(Family f) {
+  switch (f) {
+    case Family::kXTree:
+      return 2;
+    case Family::kMesh:
+    case Family::kTorus:
+    case Family::kXGrid:
+      return 2;  // Theorem "Table 1" group (mesh-like guests)
+    case Family::kMeshOfTrees:
+    case Family::kMultigrid:
+    case Family::kPyramid:
+      return 3;
+    case Family::kButterfly:
+    case Family::kWrappedButterfly:
+    case Family::kDeBruijn:
+    case Family::kShuffleExchange:
+    case Family::kCCC:
+    case Family::kMultibutterfly:
+    case Family::kExpander:
+    case Family::kHypercube:
+      return 5;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace netemu

@@ -1,0 +1,41 @@
+#pragma once
+// Closed-form β and Λ per machine family — the Table 4 registry.
+//
+// β(M) is the delivery rate under symmetric traffic; Λ(M) is the minimal
+// guest computation length required by the Efficient Emulation Theorem
+// (proportional to diameter for every family here).  Both are expressed as
+// functions of the machine's TOTAL vertex count n.  Leading constants are
+// calibrated to the natural witness (2·bisection for β, diameter for Λ) so
+// that the crossover plots are sensible, but only the exponents carry the
+// paper's content.
+
+#include "netemu/bandwidth/asymptotic.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+/// β(family_k) as a function of total size n.
+AsymFn beta_theory(Family f, unsigned k = 2);
+
+/// Λ(family_k) as a function of total size n.
+AsymFn lambda_theory(Family f, unsigned k = 2);
+
+/// True for the families the paper tags bottleneck-free (the machines whose
+/// quasi-symmetric delivery rate is within a constant of β).  The GlobalBus
+/// trivially qualifies; the Expander/Multibutterfly qualify; every Table 4
+/// family does.  Kept as a predicate so hypothetical pathological machines
+/// can opt out.
+bool is_bottleneck_free(Family f);
+
+/// Guest families of Theorems 2-5, in table order.
+struct TheoremRow {
+  Family guest;
+  unsigned guest_k;       ///< dimension (where applicable)
+  const char* label;
+};
+
+/// The theorem each guest family belongs to (2, 3/4, or 5); used by the
+/// table benches to organize output.
+int theorem_for_guest(Family f);
+
+}  // namespace netemu

@@ -1,0 +1,68 @@
+#include "netemu/circuit/circuit.hpp"
+
+#include <cassert>
+
+namespace netemu {
+
+Circuit::Circuit(const Multigraph& guest, std::uint32_t time_steps,
+                 std::uint32_t duplicity)
+    : guest_(&guest), t_(time_steps), duplicity_(duplicity) {
+  assert(duplicity >= 1);
+  assert(time_steps >= 1);
+}
+
+bool Circuit::is_efficient(double max_factor) const {
+  const double nodes = static_cast<double>(num_nodes());
+  const double work = static_cast<double>(guest_->num_vertices()) *
+                      static_cast<double>(t_);
+  return nodes <= max_factor * work;
+}
+
+Multigraph Circuit::circuit_graph() const {
+  const std::size_t n = guest_->num_vertices();
+  MultigraphBuilder b(num_nodes());
+  for (std::uint32_t level = 0; level < t_; ++level) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (std::uint32_t c = 0; c < duplicity_; ++c) {
+        // Identity edge.
+        b.add_edge(static_cast<Vertex>(node_id(level, u, c)),
+                   static_cast<Vertex>(node_id(level + 1, u, c)));
+      }
+    }
+    // Routing edges, copy-aligned, one per direction of each guest edge.
+    for (const Edge& e : guest_->edges()) {
+      for (std::uint32_t c = 0; c < duplicity_; ++c) {
+        b.add_edge(static_cast<Vertex>(node_id(level, e.u, c)),
+                   static_cast<Vertex>(node_id(level + 1, e.v, c)));
+        b.add_edge(static_cast<Vertex>(node_id(level, e.v, c)),
+                   static_cast<Vertex>(node_id(level + 1, e.u, c)));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+bool Circuit::wiring_is_complete() const {
+  // Copy-aligned wiring: node (v, i+1, c) has inputs (u, i, c) for every
+  // guest neighbor u, plus (v, i, c).  Verify on the built graph for the
+  // first level transition (the wiring is level-invariant).
+  const Multigraph cg = circuit_graph();
+  const std::size_t n = guest_->num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t c = 0; c < duplicity_; ++c) {
+      const auto self = static_cast<Vertex>(node_id(1, v, c));
+      if (cg.multiplicity(self, static_cast<Vertex>(node_id(0, v, c))) == 0) {
+        return false;
+      }
+      for (const Arc& a : guest_->neighbors(v)) {
+        if (cg.multiplicity(self,
+                            static_cast<Vertex>(node_id(0, a.to, c))) == 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace netemu

@@ -1,0 +1,130 @@
+#include "netemu/circuit/collapse_audit.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+CollapseAudit collapse_audit(const Lemma9Construction& c, std::uint32_t parts,
+                             PartitionStrategy strategy, Prng& rng) {
+  const std::uint64_t nodes = c.circuit_nodes();
+  if (parts < 2 || parts > nodes) {
+    throw std::invalid_argument("collapse_audit: parts out of range");
+  }
+  const std::uint32_t n = c.n(), t = c.t(), w = c.s_levels();
+
+  // Partition circuit node ids.  Block keeps whole level bands together
+  // (the natural "host processor owns a slab" assignment); random is the
+  // locality-free adversary.  Other strategies degrade to block (there is
+  // no meaningful BFS/matched order on bare ids here).
+  const std::uint64_t k = ceil_div(nodes, parts);
+  std::vector<std::uint32_t> part(nodes);
+  if (strategy == PartitionStrategy::kRandom) {
+    std::vector<std::uint64_t> order(nodes);
+    std::iota(order.begin(), order.end(), 0ull);
+    shuffle(order, rng);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      part[order[i]] = static_cast<std::uint32_t>(i / k);
+    }
+  } else {
+    for (std::uint64_t id = 0; id < nodes; ++id) {
+      part[id] = static_cast<std::uint32_t>(id / k);
+    }
+  }
+
+  CollapseAudit audit;
+  audit.parts = parts;
+  {
+    std::vector<std::uint32_t> load(parts, 0);
+    for (std::uint32_t p : part) ++load[p];
+    audit.load_k = *std::max_element(load.begin(), load.end());
+  }
+
+  // Survivors and pair multiplicities of ξ: replay every γ-edge.
+  std::vector<std::uint64_t> pair_count(
+      static_cast<std::size_t>(parts) * parts, 0);
+  c.for_each_bundle([&](Vertex u, std::uint32_t i, Vertex v,
+                        std::uint32_t d) {
+    const std::uint32_t ps = part[c.node_id(i, u)];
+    for (std::uint32_t j = 0; j + d <= i; ++j) {
+      const std::uint32_t pq = part[c.node_id(j, v)];
+      ++audit.total_gamma_edges;
+      if (ps == pq) {
+        ++audit.dropped_edges;
+      } else {
+        ++audit.surviving_edges;
+        const std::uint32_t lo = std::min(ps, pq), hi = std::max(ps, pq);
+        const std::uint64_t cnt =
+            ++pair_count[static_cast<std::size_t>(lo) * parts + hi];
+        audit.max_pair_multiplicity =
+            std::max(audit.max_pair_multiplicity, cnt);
+      }
+    }
+  });
+  audit.surviving_fraction =
+      audit.total_gamma_edges == 0
+          ? 0.0
+          : static_cast<double>(audit.surviving_edges) /
+                static_cast<double>(audit.total_gamma_edges);
+  audit.pair_mult_over_k2 = static_cast<double>(audit.max_pair_multiplicity) /
+                            (static_cast<double>(k) * static_cast<double>(k));
+
+  // Quotient congestion: push every circuit-edge load through the collapse.
+  // The quotient M is a MULTIgraph — all circuit edges between the same
+  // part pair become parallel simple edges of M, and the paper's congestion
+  // counts paths per simple edge.  So C(M, ξ) for the collapsed witness is
+  // max over part pairs of ceil(summed load / number of collapsed edges).
+  const CircuitLoads loads = compute_circuit_loads(c);
+  std::vector<std::uint64_t> quotient_load(
+      static_cast<std::size_t>(parts) * parts, 0);
+  std::vector<std::uint64_t> quotient_mult(
+      static_cast<std::size_t>(parts) * parts, 0);
+  auto add_quotient = [&](std::uint64_t a, std::uint64_t b,
+                          std::uint64_t load) {
+    const std::uint32_t pa = part[a], pb = part[b];
+    if (pa == pb) return;
+    const std::uint32_t lo = std::min(pa, pb), hi = std::max(pa, pb);
+    const std::size_t key = static_cast<std::size_t>(lo) * parts + hi;
+    quotient_load[key] += load;
+    ++quotient_mult[key];
+  };
+  for (std::uint32_t level = 0; level < t; ++level) {
+    const auto& per_arc = loads.routing[level];
+    for (std::uint32_t arc = 0; arc < per_arc.size(); ++arc) {
+      add_quotient(c.node_id(level + 1, loads.arc_tail[arc]),
+                   c.node_id(level, loads.arc_head[arc]), per_arc[arc]);
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t j = 0; j < t; ++j) {
+      add_quotient(c.node_id(j + 1, v), c.node_id(j, v),
+                   loads.identity[v][j]);
+    }
+  }
+  for (std::size_t key = 0; key < quotient_load.size(); ++key) {
+    if (quotient_mult[key] == 0) continue;
+    const std::uint64_t per_edge =
+        ceil_div(quotient_load[key], quotient_mult[key]);
+    audit.quotient_congestion =
+        std::max(audit.quotient_congestion, per_edge);
+  }
+
+  audit.beta_quotient = audit.quotient_congestion == 0
+                            ? 0.0
+                            : static_cast<double>(audit.surviving_edges) /
+                                  static_cast<double>(audit.quotient_congestion);
+  audit.beta_circuit = loads.max_load == 0
+                           ? 0.0
+                           : static_cast<double>(loads.gamma_edges) /
+                                 static_cast<double>(loads.max_load);
+  audit.preservation_ratio =
+      audit.beta_circuit == 0.0 ? 0.0
+                                : audit.beta_quotient / audit.beta_circuit;
+  (void)w;
+  return audit;
+}
+
+}  // namespace netemu

@@ -1,0 +1,33 @@
+#pragma once
+// The Lemma 11 audit: collapsing the circuit's Θ(nt) nodes into |H|
+// super-vertices of load O(k) preserves the traffic graph's bandwidth —
+// at most O(#parts · k²) γ-edges disappear into self-loops, the survivors
+// form ξ ∈ K_{|H|, Θ(k²)}, and β(M, ξ) = Ω(β(Φ, γ)).
+
+#include "netemu/circuit/lemma9.hpp"
+#include "netemu/embedding/partition.hpp"
+
+namespace netemu {
+
+struct CollapseAudit {
+  std::uint32_t parts = 0;
+  std::uint32_t load_k = 0;            ///< max circuit nodes per part
+  std::uint64_t total_gamma_edges = 0;
+  std::uint64_t surviving_edges = 0;   ///< E(ξ): endpoints in distinct parts
+  std::uint64_t dropped_edges = 0;     ///< collapsed into self-loops
+  double surviving_fraction = 0.0;
+  std::uint64_t max_pair_multiplicity = 0;  ///< must be O(k²)
+  double pair_mult_over_k2 = 0.0;
+  std::uint64_t quotient_congestion = 0;    ///< C(M, ξ) witness
+  double beta_quotient = 0.0;               ///< E(ξ) / C(M, ξ)
+  double beta_circuit = 0.0;                ///< β(Φ, γ) from Lemma 9
+  double preservation_ratio = 0.0;          ///< beta_quotient / beta_circuit
+};
+
+/// Collapse the construction's circuit into `parts` super-vertices using the
+/// given strategy over circuit node ids (block keeps whole levels together,
+/// which is the natural host assignment) and audit Lemma 11's claims.
+CollapseAudit collapse_audit(const Lemma9Construction& c, std::uint32_t parts,
+                             PartitionStrategy strategy, Prng& rng);
+
+}  // namespace netemu

@@ -1,0 +1,229 @@
+#include "netemu/circuit/lemma9.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netemu/graph/algorithms.hpp"
+
+namespace netemu {
+
+Lemma9Construction::Lemma9Construction(const Multigraph& guest,
+                                       const Lemma9Options& options,
+                                       Prng& /*rng*/)
+    : guest_(&guest), n_(static_cast<std::uint32_t>(guest.num_vertices())) {
+  if (n_ < 4 || !is_connected(guest)) {
+    throw std::invalid_argument("Lemma9: guest must be connected, n >= 4");
+  }
+
+  // All-pairs BFS: parents and distances per source, plus the diameter and
+  // average distance the parameters derive from.
+  parent_.resize(n_);
+  dist_.resize(n_);
+  std::uint32_t diameter = 0;
+  double dist_sum = 0.0;
+  for (Vertex u = 0; u < n_; ++u) {
+    parent_[u] = bfs_parents(guest, u);
+    const auto d32 = bfs_distances(guest, u);
+    dist_[u].resize(n_);
+    for (Vertex v = 0; v < n_; ++v) {
+      dist_[u][v] = static_cast<std::uint16_t>(d32[v]);
+      diameter = std::max(diameter, d32[v]);
+      dist_sum += d32[v];
+    }
+  }
+  lambda_ = diameter;
+  const double avg_dist = dist_sum / (static_cast<double>(n_) * (n_ - 1.0));
+
+  const double a = options.stretch;
+  t_ = static_cast<std::uint32_t>(std::ceil((1.0 + a) * lambda_));
+  w_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::floor(a * lambda_ / 2.0)));
+  cutoff_ = options.cone_cutoff != 0
+                ? options.cone_cutoff
+                : std::min<std::uint32_t>(
+                      lambda_, static_cast<std::uint32_t>(
+                                   std::ceil((1.0 + a / 2.0) * avg_dist)));
+  // Cones must fit above the lowest S-level: i - d >= 0 for i >= t-w+1.
+  assert(t_ - w_ + 1 >= cutoff_);
+
+  // Witness congestion of the all-pairs shortest-path system (unordered
+  // pairs, one path each), counted on undirected guest edges.
+  std::vector<std::uint64_t> load(guest.num_edges(), 0);
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index;
+  edge_index.reserve(guest.num_edges() * 2);
+  {
+    const auto edges = guest.edges();
+    for (std::uint32_t e = 0; e < edges.size(); ++e) {
+      edge_index[(static_cast<std::uint64_t>(edges[e].u) << 32) |
+                 edges[e].v] = e;
+    }
+  }
+  auto edge_of = [&](Vertex a2, Vertex b2) {
+    if (a2 > b2) std::swap(a2, b2);
+    return edge_index.at((static_cast<std::uint64_t>(a2) << 32) | b2);
+  };
+  for (Vertex u = 0; u < n_; ++u) {
+    for (Vertex v = u + 1; v < n_; ++v) {
+      Vertex cur = v;
+      while (cur != u) {
+        const Vertex next = parent_[u][cur];
+        guest_congestion_ =
+            std::max(guest_congestion_, ++load[edge_of(cur, next)]);
+        cur = next;
+      }
+    }
+  }
+}
+
+double Lemma9Construction::guest_beta() const {
+  const double pairs = static_cast<double>(n_) * (n_ - 1.0) / 2.0;
+  return guest_congestion_ == 0
+             ? 0.0
+             : pairs / static_cast<double>(guest_congestion_);
+}
+
+std::vector<Vertex> Lemma9Construction::witness_path(Vertex u,
+                                                     Vertex v) const {
+  std::vector<Vertex> path{v};
+  Vertex cur = v;
+  while (cur != u) {
+    cur = parent_[u][cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+CircuitLoads compute_circuit_loads(const Lemma9Construction& c) {
+  const Multigraph& g = c.guest();
+  const std::uint32_t n = c.n(), t = c.t(), w = c.s_levels();
+
+  CircuitLoads loads;
+  std::unordered_map<std::uint64_t, std::uint32_t> arc_id;
+  arc_id.reserve(g.num_edges() * 4);
+  for (const Edge& e : g.edges()) {
+    arc_id[(static_cast<std::uint64_t>(e.u) << 32) | e.v] =
+        static_cast<std::uint32_t>(loads.arc_tail.size());
+    loads.arc_tail.push_back(e.u);
+    loads.arc_head.push_back(e.v);
+    arc_id[(static_cast<std::uint64_t>(e.v) << 32) | e.u] =
+        static_cast<std::uint32_t>(loads.arc_tail.size());
+    loads.arc_tail.push_back(e.v);
+    loads.arc_head.push_back(e.u);
+  }
+  loads.routing.assign(t,
+                       std::vector<std::uint64_t>(loads.arc_tail.size(), 0));
+  // Identity-load events: per vertex, count of bundles per limit level.
+  std::vector<std::vector<std::uint64_t>> events(
+      n, std::vector<std::uint64_t>(t + 1, 0));
+
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint16_t d = c.distance(u, v);
+      if (v == u || d == 0 || d > c.cutoff()) continue;
+      const auto path = c.witness_path(u, v);
+      std::vector<std::uint32_t> legs(d);
+      for (std::uint32_t j = 0; j < d; ++j) {
+        legs[j] = arc_id.at((static_cast<std::uint64_t>(path[j]) << 32) |
+                            path[j + 1]);
+      }
+      for (std::uint32_t i = t - w + 1; i <= t; ++i) {
+        const std::uint64_t bundle = i - d + 1;
+        loads.gamma_edges += bundle;
+        // Cone leg j runs from (path[j], i-j) down-level to (path[j+1],
+        // i-j-1); the routing table is keyed by the lower level.
+        for (std::uint32_t j = 0; j < d; ++j) {
+          loads.routing[i - j - 1][legs[j]] += bundle;
+        }
+        ++events[v][i - d];
+      }
+    }
+  }
+
+  // Materialize identity loads: edge (v, j+1)-(v, j) carries, per bundle
+  // whose terminal level exceeds j, the (j+1) γ-edges bound below level j+1.
+  loads.identity.assign(n, std::vector<std::uint64_t>(t, 0));
+  for (Vertex v = 0; v < n; ++v) {
+    std::uint64_t suffix = 0;
+    for (std::int64_t j = t; j-- > 0;) {
+      suffix += events[v][j + 1];
+      loads.identity[v][j] = static_cast<std::uint64_t>(j + 1) * suffix;
+    }
+  }
+
+  for (const auto& level : loads.routing) {
+    for (std::uint64_t l : level) loads.max_load = std::max(loads.max_load, l);
+  }
+  for (const auto& vert : loads.identity) {
+    for (std::uint64_t l : vert) loads.max_load = std::max(loads.max_load, l);
+  }
+  return loads;
+}
+
+Lemma9Audit lemma9_audit(const Lemma9Construction& c) {
+  Lemma9Audit a;
+  const std::uint32_t n = c.n(), t = c.t(), w = c.s_levels();
+  a.n = n;
+  a.t = t;
+  a.lambda = c.lambda();
+  a.w = w;
+  a.cutoff = c.cutoff();
+  a.circuit_nodes = c.circuit_nodes();
+  a.s_nodes = static_cast<std::uint64_t>(w) * n;
+  a.guest_congestion = c.guest_congestion();
+  // The (S, Q) level ranges of a vertex pair are disjoint (a γ-edge needs
+  // j <= i - d on one side and i <= j - d on the other), so no pair can
+  // carry two γ-edges: γ ∈ K_{·,1} by construction.
+  a.max_pair_multiplicity = 1;
+
+  const CircuitLoads loads = compute_circuit_loads(c);
+  a.gamma_edges = loads.gamma_edges;
+  a.circuit_congestion = loads.max_load;
+
+  // Cone-path counts and per-vertex Q-level reach.
+  std::vector<std::int64_t> limit_of(n, -1);
+  std::uint64_t pair_cones = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint16_t d = c.distance(u, v);
+      if (v == u || d == 0 || d > c.cutoff()) continue;
+      ++pair_cones;
+      limit_of[v] = std::max(limit_of[v],
+                             static_cast<std::int64_t>(t) - d);  // i = t
+    }
+  }
+  a.cone_paths = pair_cones * w;
+  a.cone_paths_per_level_n2 =
+      static_cast<double>(pair_cones) / (static_cast<double>(n) * n);
+
+  // γ vertex count: union of S-levels [t-w+1, t] and Q-levels [0, limit_v].
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int64_t limit = limit_of[v];
+    const std::int64_t s_lo = static_cast<std::int64_t>(t) - w + 1;
+    const std::int64_t overlap = std::max<std::int64_t>(0, limit - s_lo + 1);
+    a.gamma_vertices += w + static_cast<std::uint64_t>(limit + 1 - overlap);
+  }
+
+  const double nt = static_cast<double>(n) * t;
+  a.vertices_per_nt = static_cast<double>(a.gamma_vertices) / nt;
+  a.edges_per_n2t2 = static_cast<double>(a.gamma_edges) / (nt * nt);
+  a.congestion_bound =
+      std::max(static_cast<double>(n) * t * t,
+               static_cast<double>(t) *
+                   static_cast<double>(c.guest_congestion()));
+  a.congestion_ratio =
+      static_cast<double>(a.circuit_congestion) / a.congestion_bound;
+  a.beta_circuit = a.circuit_congestion == 0
+                       ? 0.0
+                       : static_cast<double>(a.gamma_edges) /
+                             static_cast<double>(a.circuit_congestion);
+  a.t_beta_guest = static_cast<double>(t) * c.guest_beta();
+  a.preservation_ratio =
+      a.t_beta_guest == 0.0 ? 0.0 : a.beta_circuit / a.t_beta_guest;
+  return a;
+}
+
+}  // namespace netemu

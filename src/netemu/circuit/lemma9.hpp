@@ -1,0 +1,134 @@
+#pragma once
+// The Lemma 9 construction: inside any efficient circuit Φ that emulates
+// t = (1+a)·Λ(G) steps of guest G, find a quasi-symmetric traffic graph
+// γ ∈ K_{Θ(nt),1} whose embedding into Φ witnesses β(Φ, γ) = Ω(t · β(G)).
+//
+// Construction (following the paper):
+//  * S-nodes: one representative of every guest vertex in each of the last
+//    w = Θ(a·Λ) levels.
+//  * cones: from S-node (u, i), follow the embedding paths (shortest paths
+//    that witness C(G, K_n)) to every destination v within the cutoff
+//    Λ̃; the cone path climbs the circuit one level per hop.
+//  * Q-sets: from the cone's terminal (v, i-d), every (v, j) with j < i-d
+//    reachable by identity edges.
+//  * γ-edges: S-node (u,i) — Q-node (v,j), one bundle of |Q| edges carried
+//    up the cone path and peeled off along the identity edges.
+//
+// The audit checks every counting claim of the lemma on the real object:
+// γ ∈ K_{Θ(nt),1}, Ω(n²) cone paths per S-level, embedding congestion
+// O(max(n·t², t·C(G,K_n))), and β(Φ,γ) ≥ Ω(t·β(G)).
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+struct Lemma9Options {
+  double stretch = 1.0;       ///< a: t = ceil((1+a) · Λ)
+  std::uint32_t cone_cutoff = 0;  ///< Λ̃; 0 = auto ((1+a/2)·avg distance)
+};
+
+/// Everything the audits (and Lemma 11's collapse) need, kept so the
+/// γ-edge enumeration can be replayed without storing Θ(n²t²) edges.
+class Lemma9Construction {
+ public:
+  Lemma9Construction(const Multigraph& guest, const Lemma9Options& options,
+                     Prng& rng);
+
+  const Multigraph& guest() const { return *guest_; }
+  std::uint32_t n() const { return n_; }
+  std::uint32_t t() const { return t_; }          ///< time steps
+  std::uint32_t lambda() const { return lambda_; }
+  std::uint32_t s_levels() const { return w_; }   ///< w
+  std::uint32_t cutoff() const { return cutoff_; }
+
+  std::uint64_t circuit_nodes() const {
+    return static_cast<std::uint64_t>(t_ + 1) * n_;
+  }
+  /// Circuit node id of (vertex u, level j) — duplicity-1 circuit.
+  std::uint64_t node_id(std::uint32_t level, Vertex u) const {
+    return static_cast<std::uint64_t>(level) * n_ + u;
+  }
+
+  /// C(G, K_n) witness congestion (max undirected edge load of the
+  /// all-pairs shortest-path system).
+  std::uint64_t guest_congestion() const { return guest_congestion_; }
+  /// β(G, K_n) through the witness: E(K_n) / C(G, K_n).
+  double guest_beta() const;
+
+  /// Enumerate every γ bundle: fn(u, i, v, dist) for each S-node (u,i) and
+  /// cone destination v at distance dist <= cutoff.  The bundle's γ-edges
+  /// are (u,i)-(v,j) for j in [0, i-dist].
+  template <typename Fn>
+  void for_each_bundle(Fn&& fn) const {
+    for (Vertex u = 0; u < n_; ++u) {
+      for (Vertex v = 0; v < n_; ++v) {
+        const std::uint16_t d = dist_[u][v];
+        if (v == u || d > cutoff_) continue;
+        for (std::uint32_t i = t_ - w_ + 1; i <= t_; ++i) {
+          fn(u, i, v, static_cast<std::uint32_t>(d));
+        }
+      }
+    }
+  }
+
+  /// Shortest path (witness) from u to v, endpoints inclusive.
+  std::vector<Vertex> witness_path(Vertex u, Vertex v) const;
+
+  /// BFS distance between guest vertices.
+  std::uint16_t distance(Vertex u, Vertex v) const { return dist_[u][v]; }
+
+ private:
+  const Multigraph* guest_;
+  std::uint32_t n_;
+  std::uint32_t lambda_;   ///< diameter of G
+  std::uint32_t t_;
+  std::uint32_t w_;
+  std::uint32_t cutoff_;
+  std::uint64_t guest_congestion_ = 0;
+  std::vector<std::vector<Vertex>> parent_;      // per source
+  std::vector<std::vector<std::uint16_t>> dist_; // per source
+};
+
+struct Lemma9Audit {
+  std::uint32_t n = 0, t = 0, lambda = 0, w = 0, cutoff = 0;
+  std::uint64_t circuit_nodes = 0;
+  std::uint64_t s_nodes = 0;
+  std::uint64_t gamma_vertices = 0;   ///< |S ∪ Q|
+  std::uint64_t gamma_edges = 0;      ///< E(γ)
+  std::uint64_t cone_paths = 0;
+  std::uint64_t max_pair_multiplicity = 0;  ///< must be 1 (K_{·,1})
+  double vertices_per_nt = 0.0;       ///< |V(γ)| / (n t)
+  double edges_per_n2t2 = 0.0;        ///< E(γ) / (n² t²)
+  double cone_paths_per_level_n2 = 0.0;  ///< cones per S-level / n²
+  std::uint64_t circuit_congestion = 0;  ///< embedding congestion into Φ
+  double congestion_bound = 0.0;      ///< max(n t², t · C(G,K_n))
+  double congestion_ratio = 0.0;      ///< congestion / bound (should be O(1))
+  double beta_circuit = 0.0;          ///< E(γ) / congestion
+  double t_beta_guest = 0.0;          ///< t · β(G, K_n)
+  double preservation_ratio = 0.0;    ///< beta_circuit / t_beta_guest — Ω(1)
+  std::uint64_t guest_congestion = 0;
+};
+
+Lemma9Audit lemma9_audit(const Lemma9Construction& c);
+
+/// The γ-embedding's load on every circuit edge, kept explicitly so Lemma 11
+/// can push the same embedding through a collapse.
+struct CircuitLoads {
+  /// routing[level][directed arc]: load on the routing edge from
+  /// (arc tail, level+1) down to (arc head, level).
+  std::vector<std::vector<std::uint64_t>> routing;
+  /// identity[v][j]: load on the identity edge (v, j+1)-(v, j).
+  std::vector<std::vector<std::uint64_t>> identity;
+  /// Directed-arc endpoint tables (arc id -> tail/head guest vertex).
+  std::vector<Vertex> arc_tail, arc_head;
+  std::uint64_t gamma_edges = 0;
+  std::uint64_t max_load = 0;
+};
+
+CircuitLoads compute_circuit_loads(const Lemma9Construction& c);
+
+}  // namespace netemu

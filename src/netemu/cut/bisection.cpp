@@ -1,0 +1,83 @@
+#include "netemu/cut/bisection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace netemu {
+
+std::uint64_t cut_value(const Multigraph& g, const std::vector<bool>& side) {
+  std::uint64_t total = 0;
+  for (const Edge& e : g.edges()) {
+    if (side[e.u] != side[e.v]) total += e.mult;
+  }
+  return total;
+}
+
+namespace {
+
+/// Depth-first enumeration of balanced vertex subsets with a simple bound:
+/// once the running cut already exceeds the incumbent, prune.  Vertices are
+/// processed in order; cut contribution is tracked incrementally against the
+/// already-placed prefix.
+class ExactSolver {
+ public:
+  explicit ExactSolver(const Multigraph& g)
+      : g_(g), n_(g.num_vertices()), side_(n_, false) {}
+
+  Bisection solve() {
+    best_ = std::numeric_limits<std::uint64_t>::max();
+    // Fix vertex 0 on side A to kill the mirror symmetry.
+    side_[0] = true;
+    recurse(1, 1, 0);
+    return Bisection{best_, best_side_};
+  }
+
+ private:
+  void recurse(std::size_t v, std::size_t count_a, std::uint64_t cut) {
+    if (cut >= best_) return;
+    const std::size_t half_a = (n_ + 1) / 2;
+    const std::size_t remaining = n_ - v;
+    if (count_a > half_a || count_a + remaining < n_ / 2) return;
+    if (v == n_) {
+      best_ = cut;
+      best_side_.assign(side_.begin(), side_.end());
+      return;
+    }
+    // Place v on each side; cut increases by multiplicity to the opposite
+    // prefix side.
+    std::uint64_t to_a = 0, to_b = 0;
+    for (const Arc& a : g_.neighbors(static_cast<Vertex>(v))) {
+      if (a.to < v) {
+        (side_[a.to] ? to_a : to_b) += a.mult;
+      }
+    }
+    side_[v] = true;
+    recurse(v + 1, count_a + 1, cut + to_b);
+    side_[v] = false;
+    recurse(v + 1, count_a, cut + to_a);
+  }
+
+  const Multigraph& g_;
+  std::size_t n_;
+  std::vector<bool> side_;
+  std::vector<bool> best_side_;
+  std::uint64_t best_ = 0;
+};
+
+}  // namespace
+
+Bisection exact_bisection(const Multigraph& g) {
+  const std::size_t n = g.num_vertices();
+  assert(n <= 32 && "exact bisection is exponential; use kl_bisection");
+  if (n <= 1) return Bisection{0, std::vector<bool>(n, false)};
+  return ExactSolver(g).solve();
+}
+
+Bisection bisection_auto(const Multigraph& g, Prng& rng,
+                         std::size_t exact_cutoff) {
+  if (g.num_vertices() <= exact_cutoff) return exact_bisection(g);
+  return kl_bisection(g, rng);
+}
+
+}  // namespace netemu

@@ -1,0 +1,40 @@
+#pragma once
+// Bisection width machinery.
+//
+// Bandwidth under symmetric traffic is cut-limited: with m messages uniform
+// over ordered pairs, ~m/2 of them must cross any balanced cut, and at most
+// one message crosses a wire per tick, so β(M) <= 2·bw(M) up to rounding.
+// The cut side of the bandwidth sandwich therefore needs a bisection-width
+// oracle: exact for small graphs, Kernighan–Lin for medium, spectral lower
+// bound for certification.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+/// Total multiplicity crossing the cut defined by side[] (true = side A).
+std::uint64_t cut_value(const Multigraph& g, const std::vector<bool>& side);
+
+/// A (floor(n/2), ceil(n/2)) cut and its value.
+struct Bisection {
+  std::uint64_t width = 0;
+  std::vector<bool> side;
+};
+
+/// Exact minimum bisection by branch-and-bound over balanced subsets.
+/// Practical for n <= ~28; asserts n <= 32.
+Bisection exact_bisection(const Multigraph& g);
+
+/// Kernighan–Lin heuristic with `restarts` random starting cuts; returns the
+/// best (an upper bound on the true width).
+Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts = 8);
+
+/// Best-effort bisection width: exact when n is small, KL otherwise.
+Bisection bisection_auto(const Multigraph& g, Prng& rng,
+                         std::size_t exact_cutoff = 20);
+
+}  // namespace netemu

@@ -1,0 +1,26 @@
+#pragma once
+// Spectral lower bound on bisection width.
+//
+// For a (multi)graph with Laplacian L and algebraic connectivity λ₂ (the
+// Fiedler value), every balanced bipartition has cut value >= λ₂·n/4.
+// This certifies that the KL heuristic's answer is within a known factor —
+// heuristic width / spectral bound is reported by the ablation bench.
+//
+// λ₂ is computed by power iteration on (σI - L) with the all-ones vector
+// deflated out; σ is a Gershgorin upper bound on the spectrum of L.
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+struct SpectralResult {
+  double lambda2 = 0.0;        ///< algebraic connectivity estimate
+  double bisection_lb = 0.0;   ///< λ₂ · n / 4
+  unsigned iterations = 0;     ///< power iterations actually used
+};
+
+SpectralResult fiedler_value(const Multigraph& g, Prng& rng,
+                             unsigned max_iters = 2000, double tol = 1e-9);
+
+}  // namespace netemu

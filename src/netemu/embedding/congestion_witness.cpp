@@ -1,0 +1,56 @@
+#include "netemu/embedding/congestion_witness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace netemu {
+
+CongestionWitness congestion_witness(const Machine& host,
+                                     const Multigraph& traffic, Prng& rng) {
+  if (traffic.num_vertices() > host.graph.num_vertices()) {
+    throw std::invalid_argument(
+        "congestion_witness: traffic graph larger than host");
+  }
+  std::vector<Vertex> identity(traffic.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0u);
+
+  const auto router = make_default_router(host);
+  const Embedding emb =
+      embed_with_router(traffic, host, std::move(identity), *router, rng);
+  const EmbeddingMetrics metrics =
+      evaluate_embedding(traffic, host.graph, emb);
+
+  CongestionWitness w;
+  w.congestion = metrics.congestion;
+  w.dilation = metrics.dilation;
+  w.avg_dilation = metrics.avg_dilation;
+
+  if (!host.forward_cap.empty()) {
+    // Forwarding events: every vertex of a walk except the last departs
+    // once per unit of multiplicity.
+    std::vector<std::uint64_t> departures(host.graph.num_vertices(), 0);
+    const auto edges = traffic.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto& path = emb.edge_paths[i];
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        departures[path[j]] += edges[i].mult;
+      }
+    }
+    for (std::size_t v = 0; v < departures.size(); ++v) {
+      const std::uint32_t cap = host.forward_cap[v];
+      if (cap == kUnlimitedForward || cap == 0) continue;
+      w.node_congestion =
+          std::max(w.node_congestion, (departures[v] + cap - 1) / cap);
+    }
+  }
+
+  const std::uint64_t binding = std::max(w.congestion, w.node_congestion);
+  if (binding > 0) {
+    w.beta_graph = static_cast<double>(traffic.total_multiplicity()) /
+                   static_cast<double>(binding);
+  }
+  return w;
+}
+
+}  // namespace netemu

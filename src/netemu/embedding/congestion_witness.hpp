@@ -1,0 +1,30 @@
+#pragma once
+// Congestion witnesses: the graph-theoretic bandwidth β(H,T) = E(T)/C(H,T)
+// evaluated through a constructed (shortest-path) embedding of the traffic
+// multigraph T into host H.  The constructed congestion upper-bounds the
+// optimal C(H,T), so beta_graph here LOWER-bounds the true graph-theoretic
+// bandwidth; Theorem 6 says it must land within a constant of the simulated
+// delivery rate.
+
+#include "netemu/embedding/embedding.hpp"
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+struct CongestionWitness {
+  std::uint64_t congestion = 0;  ///< C(H,T) witness (upper bound on optimum)
+  /// For machines with per-node forwarding caps (bus hub, weak nodes): the
+  /// max over nodes of (forwarding events / cap).  Pure edge congestion is
+  /// blind to these, so β would be overestimated on e.g. the GlobalBus.
+  std::uint64_t node_congestion = 0;
+  std::uint32_t dilation = 0;
+  double avg_dilation = 0.0;
+  double beta_graph = 0.0;  ///< E(T) / max(congestion, node_congestion)
+};
+
+/// Traffic vertices must be host vertex ids (identity vertex map).
+CongestionWitness congestion_witness(const Machine& host,
+                                     const Multigraph& traffic, Prng& rng);
+
+}  // namespace netemu

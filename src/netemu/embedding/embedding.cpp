@@ -1,0 +1,71 @@
+#include "netemu/embedding/embedding.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netemu {
+
+Embedding embed_with_router(const Multigraph& guest, const Machine& host,
+                            std::vector<Vertex> vertex_map, Router& router,
+                            Prng& rng) {
+  assert(vertex_map.size() == guest.num_vertices());
+  assert(host.graph.num_vertices() > 0);
+  (void)host;  // the router was built from `host`; kept for the contract
+  Embedding emb;
+  emb.vertex_map = std::move(vertex_map);
+  emb.edge_paths.reserve(guest.num_edges());
+  for (const Edge& e : guest.edges()) {
+    const Vertex hu = emb.vertex_map[e.u];
+    const Vertex hv = emb.vertex_map[e.v];
+    if (hu == hv) {
+      emb.edge_paths.push_back({hu});
+    } else {
+      emb.edge_paths.push_back(router.route(hu, hv, rng));
+    }
+  }
+  return emb;
+}
+
+EmbeddingMetrics evaluate_embedding(const Multigraph& guest,
+                                    const Multigraph& host,
+                                    const Embedding& embedding) {
+  if (embedding.edge_paths.size() != guest.num_edges()) {
+    throw std::invalid_argument("evaluate_embedding: path count mismatch");
+  }
+  EmbeddingMetrics m;
+  // Undirected host-edge loads keyed by canonical (min,max) pair.
+  std::unordered_map<std::uint64_t, std::uint64_t> load;
+  load.reserve(host.num_edges() * 2);
+
+  double weighted_hops = 0.0;
+  double total_weight = 0.0;
+  const auto edges = guest.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& path = embedding.edge_paths[i];
+    const std::uint32_t mult = edges[i].mult;
+    const auto hops = static_cast<std::uint32_t>(
+        path.empty() ? 0 : path.size() - 1);
+    m.dilation = std::max(m.dilation, hops);
+    weighted_hops += static_cast<double>(hops) * mult;
+    total_weight += mult;
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      const Vertex a = std::min(path[j], path[j + 1]);
+      const Vertex b = std::max(path[j], path[j + 1]);
+      const std::uint32_t wires = host.multiplicity(a, b);
+      if (wires == 0) {
+        throw std::invalid_argument(
+            "evaluate_embedding: walk uses a missing host edge");
+      }
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      // The paper's congestion counts paths per SIMPLE edge: a host pair
+      // with w parallel wires spreads its load across them.
+      const std::uint64_t l = (load[key] += mult);
+      m.congestion = std::max(m.congestion, (l + wires - 1) / wires);
+    }
+  }
+  m.avg_dilation = total_weight > 0 ? weighted_hops / total_weight : 0.0;
+  return m;
+}
+
+}  // namespace netemu

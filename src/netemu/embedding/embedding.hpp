@@ -1,0 +1,43 @@
+#pragma once
+// Embeddings of a guest multigraph into a host machine: a vertex map plus a
+// host walk per guest edge.  Congestion / dilation of embeddings is the
+// graph-theoretic half of the paper's bandwidth definition
+// (β(H,T) = E(T)/C(H,T)), so these metrics are load-bearing everywhere.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/routing/router.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+struct Embedding {
+  /// guest vertex -> host vertex (not necessarily injective).
+  std::vector<Vertex> vertex_map;
+  /// Per guest edge (indexed like guest.edges()): the host walk carrying it.
+  /// Guest edges whose endpoints share a host vertex get a length-1 walk.
+  std::vector<std::vector<Vertex>> edge_paths;
+};
+
+struct EmbeddingMetrics {
+  /// Max multiplicity-weighted load over undirected host edges — C(H, G).
+  std::uint64_t congestion = 0;
+  /// Max walk length in hops — the dilation δ(H, G).
+  std::uint32_t dilation = 0;
+  /// Multiplicity-weighted mean walk length — the average dilation.
+  double avg_dilation = 0.0;
+};
+
+/// Route every guest edge along a (randomized) shortest host path between
+/// the mapped endpoints, using the host's default router.
+Embedding embed_with_router(const Multigraph& guest, const Machine& host,
+                            std::vector<Vertex> vertex_map, Router& router,
+                            Prng& rng);
+
+/// Evaluate congestion/dilation of an embedding against a host graph.
+EmbeddingMetrics evaluate_embedding(const Multigraph& guest,
+                                    const Multigraph& host,
+                                    const Embedding& embedding);
+
+}  // namespace netemu

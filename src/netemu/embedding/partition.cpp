@@ -1,0 +1,165 @@
+#include "netemu/embedding/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "netemu/cut/bisection.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kBlock: return "block";
+    case PartitionStrategy::kBfs: return "bfs";
+    case PartitionStrategy::kRandom: return "random";
+    case PartitionStrategy::kMatched: return "matched";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::uint32_t> blocks_of_order(const std::vector<Vertex>& order,
+                                           std::uint32_t num_parts) {
+  const std::size_t n = order.size();
+  const std::uint64_t block = ceil_div(n, num_parts);
+  std::vector<std::uint32_t> part(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    part[order[i]] = static_cast<std::uint32_t>(i / block);
+  }
+  return part;
+}
+
+std::vector<Vertex> bfs_order(const Multigraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  for (Vertex root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    seen[root] = true;
+    order.push_back(root);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      for (const Arc& a : g.neighbors(order[head])) {
+        if (!seen[a.to]) {
+          seen[a.to] = true;
+          order.push_back(a.to);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+/// Recursively split `vertices` of g into `parts` groups using KL bisection
+/// of the induced subgraph; emit group ids depth-first so sibling groups get
+/// consecutive ids.
+void recursive_split(const Multigraph& g, std::vector<Vertex> vertices,
+                     std::uint32_t parts, std::uint32_t first_id,
+                     std::vector<std::uint32_t>& out, Prng& rng) {
+  if (parts <= 1 || vertices.size() <= 1) {
+    for (Vertex v : vertices) out[v] = first_id;
+    return;
+  }
+  // Induced subgraph on `vertices`.
+  std::vector<std::uint32_t> local(g.num_vertices(), kNoVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    local[vertices[i]] = static_cast<std::uint32_t>(i);
+  }
+  MultigraphBuilder b(vertices.size());
+  for (const Edge& e : g.edges()) {
+    if (local[e.u] != kNoVertex && local[e.v] != kNoVertex) {
+      b.add_edge(local[e.u], local[e.v], e.mult);
+    }
+  }
+  const Multigraph sub = std::move(b).build();
+  const Bisection bi = sub.num_vertices() <= 16 ? exact_bisection(sub)
+                                                : kl_bisection(sub, rng, 4);
+  std::vector<Vertex> left, right;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    (bi.side[i] ? left : right).push_back(vertices[i]);
+  }
+  const std::uint32_t left_parts = parts / 2;
+  recursive_split(g, std::move(left), left_parts, first_id, out, rng);
+  recursive_split(g, std::move(right), parts - left_parts,
+                  first_id + left_parts, out, rng);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> partition_guest(const Multigraph& guest,
+                                           std::uint32_t num_parts,
+                                           PartitionStrategy strategy,
+                                           Prng& rng) {
+  assert(num_parts >= 1);
+  const std::size_t n = guest.num_vertices();
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  switch (strategy) {
+    case PartitionStrategy::kBlock:
+      return blocks_of_order(order, num_parts);
+    case PartitionStrategy::kBfs:
+      return blocks_of_order(bfs_order(guest), num_parts);
+    case PartitionStrategy::kRandom:
+      shuffle(order, rng);
+      return blocks_of_order(order, num_parts);
+    case PartitionStrategy::kMatched: {
+      std::vector<std::uint32_t> part(n, 0);
+      recursive_split(guest, std::move(order), num_parts, 0, part, rng);
+      return part;
+    }
+  }
+  return blocks_of_order(order, num_parts);
+}
+
+MatchedPartition matched_partition(const Multigraph& guest,
+                                   const Machine& host,
+                                   std::uint32_t num_parts, Prng& rng) {
+  MatchedPartition mp;
+  mp.guest_slot =
+      partition_guest(guest, num_parts, PartitionStrategy::kMatched, rng);
+
+  // Split the host's processor set the same way so that slot i and slot i+1
+  // (siblings in the recursion) land on nearby processors.
+  const std::size_t procs = host.num_processors();
+  assert(num_parts <= procs);
+  std::vector<std::uint32_t> host_part(host.graph.num_vertices(), 0);
+  {
+    std::vector<Vertex> proc_vertices(procs);
+    for (std::size_t i = 0; i < procs; ++i) {
+      proc_vertices[i] = host.processor(i);
+    }
+    std::vector<std::uint32_t> part(host.graph.num_vertices(), 0);
+    recursive_split(host.graph, std::move(proc_vertices), num_parts, 0, part,
+                    rng);
+    host_part = std::move(part);
+  }
+  // slot -> first processor index in that host group.
+  mp.slot_to_proc.assign(num_parts, 0);
+  std::vector<bool> filled(num_parts, false);
+  for (std::size_t i = 0; i < procs; ++i) {
+    const std::uint32_t slot = host_part[host.processor(i)];
+    if (slot < num_parts && !filled[slot]) {
+      mp.slot_to_proc[slot] = static_cast<std::uint32_t>(i);
+      filled[slot] = true;
+    }
+  }
+  // Any empty host group (possible when KL splits unevenly at tiny sizes)
+  // falls back to identity.
+  for (std::uint32_t s = 0; s < num_parts; ++s) {
+    if (!filled[s]) mp.slot_to_proc[s] = s % procs;
+  }
+  return mp;
+}
+
+std::uint32_t max_load(const std::vector<std::uint32_t>& part,
+                       std::uint32_t num_parts) {
+  std::vector<std::uint32_t> load(num_parts, 0);
+  for (std::uint32_t p : part) ++load[p];
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace netemu

@@ -1,0 +1,50 @@
+#pragma once
+// Guest→host partitioners for the emulation engine: distribute n guest
+// vertices over m host processors with balanced load ceil(n/m).
+//
+// Strategies (ablation knob in the engine):
+//  * block     — guest vertex i goes to host slot floor(i / ceil(n/m));
+//                respects the guest's index locality (good for grids).
+//  * bfs       — like block but over a BFS ordering of the guest, which
+//                recovers locality when the index order is meaningless.
+//  * random    — balanced random assignment (the locality-free baseline).
+//  * matched   — simultaneous recursive KL bisection of guest and host:
+//                guest halves are assigned to host halves, so cut structure
+//                on both sides is respected.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+enum class PartitionStrategy { kBlock, kBfs, kRandom, kMatched };
+
+const char* partition_strategy_name(PartitionStrategy s);
+
+/// part[v] in [0, num_parts): the host processor *slot* of guest vertex v.
+/// (Slot i corresponds to host processor machine.processor(i).)
+std::vector<std::uint32_t> partition_guest(const Multigraph& guest,
+                                           std::uint32_t num_parts,
+                                           PartitionStrategy strategy,
+                                           Prng& rng);
+
+/// Matched recursive-bisection partition: splits the guest (KL) and the host
+/// processor set (KL on the host graph) in lockstep.  Returns guest slots
+/// AND the slot -> host-processor-index mapping it chose.
+struct MatchedPartition {
+  std::vector<std::uint32_t> guest_slot;   ///< per guest vertex
+  std::vector<std::uint32_t> slot_to_proc; ///< slot -> host processor index
+};
+
+MatchedPartition matched_partition(const Multigraph& guest,
+                                   const Machine& host,
+                                   std::uint32_t num_parts, Prng& rng);
+
+/// Max load (guest vertices per slot) of a partition.
+std::uint32_t max_load(const std::vector<std::uint32_t>& part,
+                       std::uint32_t num_parts);
+
+}  // namespace netemu

@@ -1,0 +1,34 @@
+#include "netemu/emulation/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+SlowdownBounds slowdown_bounds(Family gf, unsigned gk, double n, Family hf,
+                               unsigned hk, double m) {
+  SlowdownBounds b;
+  b.load = n / m;
+  b.bandwidth = beta_theory(gf, gk)(n) / beta_theory(hf, hk)(m);
+  b.combined = std::max(b.load, b.bandwidth);
+  return b;
+}
+
+double koch_distance_bound_tree_on_mesh(double n, unsigned k) {
+  const double lg = lg_clamped(n);
+  return std::pow(n / std::pow(lg, static_cast<double>(k)),
+                  1.0 / (static_cast<double>(k) + 1.0));
+}
+
+double koch_congestion_bound_mesh_on_mesh(unsigned k, unsigned j, double m) {
+  const double kk = static_cast<double>(k), jj = static_cast<double>(j);
+  return std::pow(m, (kk - jj) / (jj * kk));
+}
+
+double koch_congestion_bound_butterfly_on_mesh_lg(unsigned k, double m) {
+  return std::pow(m, 1.0 / static_cast<double>(k));
+}
+
+}  // namespace netemu

@@ -1,0 +1,41 @@
+#pragma once
+// Slowdown lower bounds.
+//
+// Primary: the paper's Efficient Emulation Theorem —
+//   S ≥ Ω(β(G)/β(H))    (communication-induced)
+//   S ≥ Ω(|G|/|H|)      (load-induced)
+// Baselines from Koch–Leighton–Maggs–Rao–Rosenberg [7], §1.2 of the paper:
+//   * distance-based:   tree guest on k-dim mesh host:
+//                       S ≥ Ω((|G| / lg^k |G|)^{1/(k+1)})
+//   * congestion-based: k-dim mesh on j-dim mesh (j < k):
+//                       S ≥ Ω(|H|^{(k-j)/(jk)});
+//                       butterfly on k-dim mesh: S ≥ 2^{Ω(|H|^{1/k})}.
+
+#include "netemu/bandwidth/theory.hpp"
+
+namespace netemu {
+
+struct SlowdownBounds {
+  double load = 0.0;        ///< |G| / |H|
+  double bandwidth = 0.0;   ///< β(G)(n) / β(H)(m)
+  double combined = 0.0;    ///< max of the two
+};
+
+/// Theory-side bounds for guest family (gf, gk) of size n on host family
+/// (hf, hk) of size m.
+SlowdownBounds slowdown_bounds(Family gf, unsigned gk, double n, Family hf,
+                               unsigned hk, double m);
+
+/// Koch et al. distance-based bound: complete-tree guest of size n on a
+/// k-dimensional mesh host.
+double koch_distance_bound_tree_on_mesh(double n, unsigned k);
+
+/// Koch et al. congestion-based bound: k-dim mesh guest on j-dim mesh host
+/// (j < k) of size m.
+double koch_congestion_bound_mesh_on_mesh(unsigned k, unsigned j, double m);
+
+/// Koch et al. congestion-based bound for butterfly on a k-dim mesh of size
+/// m, returned as lg2(S) because S itself is astronomically large.
+double koch_congestion_bound_butterfly_on_mesh_lg(unsigned k, double m);
+
+}  // namespace netemu

@@ -1,0 +1,76 @@
+#include "netemu/emulation/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/routing/router.hpp"
+
+namespace netemu {
+
+EmulationResult emulate(const Machine& guest, const Machine& host, Prng& rng,
+                        const EmulationOptions& options) {
+  EmulationResult result;
+  result.guest_steps = options.guest_steps;
+
+  const std::size_t n = guest.graph.num_vertices();
+  const auto parts = static_cast<std::uint32_t>(
+      std::min<std::size_t>(host.num_processors(), n));
+
+  // Place guest vertices on host processors.
+  std::vector<std::uint32_t> slot;
+  std::vector<std::uint32_t> slot_to_proc(parts);
+  if (options.partition == PartitionStrategy::kMatched) {
+    MatchedPartition mp = matched_partition(guest.graph, host, parts, rng);
+    slot = std::move(mp.guest_slot);
+    slot_to_proc = std::move(mp.slot_to_proc);
+  } else {
+    slot = partition_guest(guest.graph, parts, options.partition, rng);
+    for (std::uint32_t s = 0; s < parts; ++s) slot_to_proc[s] = s;
+  }
+  result.max_load = max_load(slot, parts);
+
+  std::vector<Vertex> owner(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    owner[v] = host.processor(slot_to_proc[slot[v]]);
+  }
+
+  // One guest step = one message per direction of every guest edge whose
+  // endpoints live on different host processors.
+  std::vector<std::pair<Vertex, Vertex>> endpoints;
+  for (const Edge& e : guest.graph.edges()) {
+    const Vertex hu = owner[e.u], hv = owner[e.v];
+    if (hu == hv) continue;
+    for (std::uint32_t c = 0; c < e.mult; ++c) {
+      endpoints.emplace_back(hu, hv);
+      endpoints.emplace_back(hv, hu);
+    }
+  }
+  result.messages_per_step = endpoints.size();
+
+  const auto router = make_default_router(host);
+  PacketSimulator sim(host, options.arbitration);
+  const auto compute_ticks = static_cast<std::uint64_t>(
+      std::ceil(options.compute_per_guest_vertex * result.max_load));
+
+  std::uint64_t comm_total = 0;
+  for (std::uint32_t step = 0; step < options.guest_steps; ++step) {
+    std::vector<std::vector<Vertex>> paths;
+    paths.reserve(endpoints.size());
+    for (const auto& [src, dst] : endpoints) {
+      paths.push_back(router->route(src, dst, rng));
+    }
+    const BatchStats stats = sim.run_batch(paths, rng);
+    comm_total += stats.makespan;
+    result.host_time += std::max<std::uint64_t>(stats.makespan, compute_ticks);
+  }
+  result.slowdown = static_cast<double>(result.host_time) /
+                    static_cast<double>(options.guest_steps);
+  result.comm_fraction =
+      result.host_time == 0
+          ? 0.0
+          : static_cast<double>(comm_total) /
+                static_cast<double>(result.host_time);
+  return result;
+}
+
+}  // namespace netemu

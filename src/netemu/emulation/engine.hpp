@@ -1,0 +1,40 @@
+#pragma once
+// The emulation engine: actually run guest G on host H and measure the
+// achieved slowdown.
+//
+// The engine implements the straightforward (non-redundant) emulation:
+// guest vertices are partitioned over the host's processors with balanced
+// load; each guest step makes every guest edge carry one message each way,
+// which the host must deliver between the owning processors (intra-processor
+// messages are free); the host's time for the step is the routing makespan
+// of that batch plus the compute time (= load).  This yields an UPPER bound
+// curve on achievable slowdown; the Efficient Emulation Theorem's
+// β(G)/β(H) is the LOWER bound.  Figure 1 is the two curves together.
+
+#include "netemu/embedding/partition.hpp"
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+struct EmulationOptions {
+  std::uint32_t guest_steps = 8;
+  PartitionStrategy partition = PartitionStrategy::kMatched;
+  Arbitration arbitration = Arbitration::kFarthestFirst;
+  /// Host ticks of compute per owned guest vertex per guest step.
+  double compute_per_guest_vertex = 1.0;
+};
+
+struct EmulationResult {
+  std::uint32_t guest_steps = 0;
+  std::uint64_t host_time = 0;
+  double slowdown = 0.0;            ///< host_time / guest_steps
+  double comm_fraction = 0.0;       ///< routing share of host time
+  std::uint32_t max_load = 0;       ///< guest vertices per host processor
+  std::uint64_t messages_per_step = 0;
+};
+
+EmulationResult emulate(const Machine& guest, const Machine& host, Prng& rng,
+                        const EmulationOptions& options = {});
+
+}  // namespace netemu

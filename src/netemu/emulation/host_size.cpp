@@ -1,0 +1,48 @@
+#include "netemu/emulation/host_size.hpp"
+
+namespace netemu {
+
+std::string HostSpec::label() const {
+  std::string s = family_name(family);
+  if (family_is_dimensional(family)) s += std::to_string(k);
+  return s;
+}
+
+HostSizeEntry max_host_size(Family guest, unsigned guest_k, double n,
+                            const HostSpec& host) {
+  const AsymFn bg = beta_theory(guest, guest_k);
+  const AsymFn bh = beta_theory(host.family, host.k);
+  const HostSizeSolution sol = solve_max_host(bg, bh, n);
+  return HostSizeEntry{host, sol.form.to_string("|G|"), sol.numeric};
+}
+
+std::vector<HostSizeEntry> max_host_table(Family guest, unsigned guest_k,
+                                          double n,
+                                          const std::vector<HostSpec>& hosts) {
+  std::vector<HostSizeEntry> out;
+  out.reserve(hosts.size());
+  for (const HostSpec& h : hosts) {
+    out.push_back(max_host_size(guest, guest_k, n, h));
+  }
+  return out;
+}
+
+std::vector<HostSpec> standard_hosts(const std::vector<unsigned>& ks) {
+  std::vector<HostSpec> hosts = {
+      {Family::kLinearArray, 1},
+      {Family::kTree, 1},
+      {Family::kGlobalBus, 1},
+      {Family::kWeakPPN, 1},
+      {Family::kXTree, 1},
+  };
+  for (unsigned k : ks) {
+    hosts.push_back({Family::kMesh, k});
+    hosts.push_back({Family::kPyramid, k});
+    hosts.push_back({Family::kMultigrid, k});
+    hosts.push_back({Family::kMeshOfTrees, k});
+    hosts.push_back({Family::kXGrid, k});
+  }
+  return hosts;
+}
+
+}  // namespace netemu

@@ -1,0 +1,41 @@
+#pragma once
+// Maximum host size for efficient emulation — the quantity Tables 1-3
+// tabulate.  Setting the communication-induced slowdown equal to the
+// load-induced slowdown |G|/|H| and solving for |H| gives the largest host
+// that could possibly emulate the guest efficiently.
+
+#include <string>
+#include <vector>
+
+#include "netemu/bandwidth/theory.hpp"
+
+namespace netemu {
+
+struct HostSpec {
+  Family family;
+  unsigned k = 1;  ///< dimension where applicable
+  std::string label() const;
+};
+
+struct HostSizeEntry {
+  HostSpec host;
+  std::string symbolic;  ///< closed Θ-form in |G|
+  double numeric = 0.0;  ///< solved |H| for the concrete |G| supplied
+};
+
+/// Solve max host size for one (guest, host) pair at concrete guest size n.
+HostSizeEntry max_host_size(Family guest, unsigned guest_k, double n,
+                            const HostSpec& host);
+
+/// Whole table row: one guest against a list of hosts.
+std::vector<HostSizeEntry> max_host_table(Family guest, unsigned guest_k,
+                                          double n,
+                                          const std::vector<HostSpec>& hosts);
+
+/// The standard host ladder used by the paper's tables: LinearArray, Tree,
+/// GlobalBus, WeakPPN, XTree, then Mesh/Pyramid/Multigrid/MeshOfTrees/XGrid
+/// at dimensions ks.
+std::vector<HostSpec> standard_hosts(const std::vector<unsigned>& ks = {1, 2,
+                                                                        3});
+
+}  // namespace netemu

@@ -1,0 +1,90 @@
+#include "netemu/emulation/redundant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/routing/router.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+RedundantResult emulate_redundant(const Machine& guest, const Machine& host,
+                                  Prng& rng,
+                                  const RedundantOptions& options) {
+  RedundantResult result;
+  const std::uint32_t r = std::max(1u, options.replication);
+  result.replication = r;
+  result.guest_steps = options.guest_steps;
+
+  const std::size_t n = guest.graph.num_vertices();
+  const std::size_t procs = host.num_processors();
+
+  // Regions: contiguous blocks of host processors, one full guest copy per
+  // region.  With r > procs the extra copies would collide; clamp.
+  const std::uint32_t regions =
+      std::min<std::uint32_t>(r, static_cast<std::uint32_t>(procs));
+  const std::size_t region_size = procs / regions;
+
+  // owner[c][v]: host processor of copy c of guest vertex v.
+  std::vector<std::vector<Vertex>> owner(regions, std::vector<Vertex>(n));
+  for (std::uint32_t c = 0; c < regions; ++c) {
+    const std::size_t base = c * region_size;
+    const std::uint64_t block = ceil_div(n, region_size);
+    for (std::size_t v = 0; v < n; ++v) {
+      owner[c][v] = host.processor(base + v / block);
+    }
+  }
+  {
+    std::vector<std::uint32_t> load(host.graph.num_vertices(), 0);
+    for (const auto& copy : owner) {
+      for (Vertex p : copy) ++load[p];
+    }
+    result.max_load = *std::max_element(load.begin(), load.end());
+  }
+
+  // Per step: every copy of every guest vertex pulls each neighbor's value
+  // from the same region's copy (the nearest by construction).
+  std::vector<std::pair<Vertex, Vertex>> endpoints;
+  for (std::uint32_t c = 0; c < regions; ++c) {
+    for (const Edge& e : guest.graph.edges()) {
+      const Vertex hu = owner[c][e.u], hv = owner[c][e.v];
+      if (hu == hv) continue;
+      for (std::uint32_t m2 = 0; m2 < e.mult; ++m2) {
+        endpoints.emplace_back(hu, hv);
+        endpoints.emplace_back(hv, hu);
+      }
+    }
+  }
+
+  const auto router = make_default_router(host);
+  PacketSimulator sim(host, options.arbitration);
+  const auto compute_ticks = static_cast<std::uint64_t>(
+      std::ceil(options.compute_per_guest_vertex * result.max_load));
+
+  std::uint64_t comm_total = 0;
+  for (std::uint32_t step = 0; step < options.guest_steps; ++step) {
+    std::vector<std::vector<Vertex>> paths;
+    paths.reserve(endpoints.size());
+    for (const auto& [src, dst] : endpoints) {
+      paths.push_back(router->route(src, dst, rng));
+    }
+    const BatchStats stats = sim.run_batch(paths, rng);
+    comm_total += stats.makespan;
+    result.host_time += std::max<std::uint64_t>(stats.makespan, compute_ticks);
+  }
+  result.slowdown = static_cast<double>(result.host_time) /
+                    static_cast<double>(options.guest_steps);
+  result.comm_fraction =
+      result.host_time == 0
+          ? 0.0
+          : static_cast<double>(comm_total) /
+                static_cast<double>(result.host_time);
+  // Work: procs * host_time vs guest work n * steps.
+  result.inefficiency = static_cast<double>(procs) *
+                        static_cast<double>(result.host_time) /
+                        (static_cast<double>(n) *
+                         static_cast<double>(options.guest_steps));
+  return result;
+}
+
+}  // namespace netemu

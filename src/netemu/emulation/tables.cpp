@@ -1,0 +1,105 @@
+#include "netemu/emulation/tables.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::string guest_label(Family f, unsigned k) {
+  std::string s = family_name(f);
+  if (family_is_dimensional(f)) s += std::to_string(k);
+  return s;
+}
+
+Table host_size_table(const std::vector<std::pair<Family, unsigned>>& guests,
+                      double n) {
+  const auto hosts = standard_hosts();
+  std::vector<std::string> header{"Host \\ Guest"};
+  for (const auto& [gf, gk] : guests) header.push_back(guest_label(gf, gk));
+  Table table(std::move(header));
+  // Theorems 2-5 require the guest computation to run at least
+  // T_G >= (1 + Omega(1)) * Lambda(G) steps; surface that hypothesis as the
+  // first row, as the paper's table captions do.
+  {
+    std::vector<std::string> row{"min T_G (Lambda)"};
+    for (const auto& [gf, gk] : guests) {
+      row.push_back(lambda_theory(gf, gk).theta_string("|G|"));
+    }
+    table.add_row(std::move(row));
+  }
+  for (const HostSpec& host : hosts) {
+    std::vector<std::string> row{host.label()};
+    for (const auto& [gf, gk] : guests) {
+      const HostSizeEntry e = max_host_size(gf, gk, n, host);
+      row.push_back(e.symbolic + "  [n=" + Table::num(n, 0) +
+                    " -> " + Table::num(e.numeric, 0) + "]");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Table paper_table1(const std::vector<unsigned>& guest_dims, double n) {
+  std::vector<std::pair<Family, unsigned>> guests;
+  for (unsigned j : guest_dims) {
+    guests.emplace_back(Family::kMesh, j);
+    guests.emplace_back(Family::kTorus, j);
+    guests.emplace_back(Family::kXGrid, j);
+  }
+  return host_size_table(guests, n);
+}
+
+Table paper_table2(const std::vector<unsigned>& guest_dims, double n) {
+  std::vector<std::pair<Family, unsigned>> guests;
+  for (unsigned j : guest_dims) {
+    guests.emplace_back(Family::kMeshOfTrees, j);
+    guests.emplace_back(Family::kMultigrid, j);
+    guests.emplace_back(Family::kPyramid, j);
+  }
+  return host_size_table(guests, n);
+}
+
+Table paper_table3(double n) {
+  const std::vector<std::pair<Family, unsigned>> guests = {
+      {Family::kButterfly, 1},    {Family::kDeBruijn, 1},
+      {Family::kShuffleExchange, 1}, {Family::kCCC, 1},
+      {Family::kMultibutterfly, 1},  {Family::kExpander, 1},
+      {Family::kHypercube, 1},
+  };
+  return host_size_table(guests, n);
+}
+
+Table paper_table4(const std::vector<unsigned>& dims) {
+  Table table({"Machine", "beta (Table 4)", "Lambda (Table 4)"});
+  auto add = [&](Family f, unsigned k) {
+    std::string name = family_name(f);
+    if (family_is_dimensional(f)) name += std::to_string(k);
+    table.add_row({name, beta_theory(f, k).theta_string(),
+                   lambda_theory(f, k).theta_string()});
+  };
+  add(Family::kLinearArray, 1);
+  add(Family::kGlobalBus, 1);
+  add(Family::kTree, 1);
+  add(Family::kWeakPPN, 1);
+  add(Family::kXTree, 1);
+  for (unsigned k : dims) {
+    add(Family::kMesh, k);
+    add(Family::kTorus, k);
+    add(Family::kXGrid, k);
+    add(Family::kMeshOfTrees, k);
+    add(Family::kMultigrid, k);
+    add(Family::kPyramid, k);
+  }
+  add(Family::kButterfly, 1);
+  add(Family::kWrappedButterfly, 1);
+  add(Family::kDeBruijn, 1);
+  add(Family::kShuffleExchange, 1);
+  add(Family::kCCC, 1);
+  add(Family::kHypercube, 1);
+  add(Family::kMultibutterfly, 1);
+  add(Family::kExpander, 1);
+  return table;
+}
+
+}  // namespace netemu

@@ -1,0 +1,26 @@
+#pragma once
+// Generators for the paper's Tables 1, 2, and 3: maximum host sizes for
+// efficient emulation, guest family by host family, rendered as Table
+// objects ready for printing by the bench binaries.
+
+#include "netemu/emulation/host_size.hpp"
+#include "netemu/util/table.hpp"
+
+namespace netemu {
+
+/// Table 1: guests are j-dimensional Meshes, Tori, and X-Grids.
+Table paper_table1(const std::vector<unsigned>& guest_dims = {1, 2, 3},
+                   double n = 1 << 20);
+
+/// Table 2: guests are j-dimensional Mesh-of-Trees, Multigrids, Pyramids.
+Table paper_table2(const std::vector<unsigned>& guest_dims = {1, 2, 3},
+                   double n = 1 << 20);
+
+/// Table 3: guests are Butterfly, de Bruijn, Shuffle-Exchange, CCC,
+/// Multibutterfly, Expander, Weak Hypercube.
+Table paper_table3(double n = 1 << 20);
+
+/// Table 4: the β / Λ registry itself.
+Table paper_table4(const std::vector<unsigned>& dims = {2});
+
+}  // namespace netemu

@@ -1,0 +1,31 @@
+#pragma once
+// Verified emulation: beyond timing, check that the emulation actually
+// COMPUTES the guest's computation.
+//
+// The guest runs a synchronous data-flow automaton (the "most general guest
+// computation" the paper's model demands is exactly one value per vertex per
+// step, each step a function of the vertex's own value and all neighbor
+// values):
+//     s_v(t+1) = 3·s_v(t) + Σ_{u ∈ N(v)} mult(u,v)·s_u(t)   (mod 2^61 - 1)
+// The host emulates it with explicit mailboxes: a neighbor value is usable
+// by owner(v) only if owner(u) == owner(v) or a message (u → v) was actually
+// part of the step's routed batch.  A missing dependency poisons the state
+// and the final checksums diverge — so states_match == true certifies the
+// engine's message pattern is complete, not merely plausible.
+
+#include "netemu/emulation/engine.hpp"
+
+namespace netemu {
+
+struct VerifiedEmulation {
+  bool states_match = false;
+  std::uint64_t guest_checksum = 0;
+  std::uint64_t host_checksum = 0;
+  EmulationResult timing;
+};
+
+VerifiedEmulation emulate_verified(const Machine& guest, const Machine& host,
+                                   Prng& rng,
+                                   const EmulationOptions& options = {});
+
+}  // namespace netemu

@@ -1,0 +1,176 @@
+#include "netemu/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "netemu/util/thread_pool.hpp"
+
+namespace netemu {
+
+namespace {
+
+/// BFS filling dist; returns the last vertex dequeued (a farthest vertex).
+Vertex bfs_core(const Multigraph& g, Vertex src,
+                std::vector<std::uint32_t>& dist) {
+  dist.assign(g.num_vertices(), kUnreachable);
+  std::vector<Vertex> queue;
+  queue.reserve(g.num_vertices());
+  dist[src] = 0;
+  queue.push_back(src);
+  std::size_t head = 0;
+  Vertex last = src;
+  while (head < queue.size()) {
+    const Vertex u = queue[head++];
+    last = u;
+    const std::uint32_t du = dist[u];
+    for (const Arc& a : g.neighbors(u)) {
+      if (dist[a.to] == kUnreachable) {
+        dist[a.to] = du + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Multigraph& g, Vertex src) {
+  std::vector<std::uint32_t> dist;
+  bfs_core(g, src, dist);
+  return dist;
+}
+
+std::vector<Vertex> bfs_parents(const Multigraph& g, Vertex src) {
+  std::vector<Vertex> parent(g.num_vertices(), kNoVertex);
+  std::vector<Vertex> queue;
+  queue.reserve(g.num_vertices());
+  parent[src] = src;
+  queue.push_back(src);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Vertex u = queue[head++];
+    for (const Arc& a : g.neighbors(u)) {
+      if (parent[a.to] == kNoVertex) {
+        parent[a.to] = u;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  parent[src] = src;
+  return parent;
+}
+
+std::vector<Vertex> shortest_path(const Multigraph& g, Vertex u, Vertex v) {
+  if (u == v) return {u};
+  const std::vector<Vertex> parent = bfs_parents(g, u);
+  if (parent[v] == kNoVertex) return {};
+  std::vector<Vertex> path{v};
+  Vertex cur = v;
+  while (cur != u) {
+    cur = parent[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool is_connected(const Multigraph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Multigraph& g, Vertex src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Multigraph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::atomic<std::uint32_t> diam{0};
+  ThreadPool::global().parallel_for(0, n, [&](std::size_t v) {
+    const std::uint32_t ecc = eccentricity(g, static_cast<Vertex>(v));
+    std::uint32_t cur = diam.load(std::memory_order_relaxed);
+    while (ecc > cur &&
+           !diam.compare_exchange_weak(cur, ecc, std::memory_order_relaxed)) {
+    }
+  });
+  return diam.load();
+}
+
+std::uint32_t diameter_double_sweep(const Multigraph& g, Prng& rng) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::vector<std::uint32_t> dist;
+  const Vertex start = static_cast<Vertex>(rng.below(n));
+  const Vertex far1 = bfs_core(g, start, dist);
+  const Vertex far2 = bfs_core(g, far1, dist);
+  return dist[far2];
+}
+
+double avg_distance_exact(const Multigraph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2) return 0.0;
+  std::atomic<std::uint64_t> total{0};
+  ThreadPool::global().parallel_for(0, n, [&](std::size_t v) {
+    const auto dist = bfs_distances(g, static_cast<Vertex>(v));
+    std::uint64_t local = 0;
+    for (std::uint32_t d : dist) {
+      if (d != kUnreachable) local += d;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double avg_distance_sampled(const Multigraph& g, Prng& rng,
+                            std::size_t samples) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2 || samples == 0) return 0.0;
+  samples = std::min(samples, n);
+  // Sample distinct sources for lower variance.
+  std::vector<Vertex> sources(n);
+  std::iota(sources.begin(), sources.end(), 0u);
+  shuffle(sources, rng);
+  sources.resize(samples);
+
+  std::atomic<std::uint64_t> total{0};
+  ThreadPool::global().parallel_for(0, samples, [&](std::size_t i) {
+    const auto dist = bfs_distances(g, sources[i]);
+    std::uint64_t local = 0;
+    for (std::uint32_t d : dist) {
+      if (d != kUnreachable) local += d;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(samples) * static_cast<double>(n - 1));
+}
+
+double avg_distance_auto(const Multigraph& g, Prng& rng,
+                         std::size_t exact_cutoff, std::size_t samples) {
+  return g.num_vertices() <= exact_cutoff ? avg_distance_exact(g)
+                                          : avg_distance_sampled(g, rng, samples);
+}
+
+DegreeStats degree_stats(const Multigraph& g) {
+  DegreeStats s;
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return s;
+  s.min = g.min_degree();
+  s.max = g.max_degree();
+  s.mean = 2.0 * static_cast<double>(g.total_multiplicity()) /
+           static_cast<double>(n);
+  return s;
+}
+
+}  // namespace netemu

@@ -1,0 +1,60 @@
+#pragma once
+// Classical graph algorithms over Multigraph: BFS, distances, diameter,
+// average distance (exact and sampled), connectivity.
+//
+// Distances ignore multiplicities (a wire of multiplicity m is one hop);
+// multiplicity only affects capacity, which the routing simulator models.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Hop distances from src to every vertex (kUnreachable if disconnected).
+std::vector<std::uint32_t> bfs_distances(const Multigraph& g, Vertex src);
+
+/// BFS parent tree from src (parent[src] == src; kNoVertex if unreachable).
+std::vector<Vertex> bfs_parents(const Multigraph& g, Vertex src);
+
+/// Shortest path from u to v inclusive of both endpoints; empty if
+/// unreachable.  Ties broken by vertex id (deterministic).
+std::vector<Vertex> shortest_path(const Multigraph& g, Vertex u, Vertex v);
+
+bool is_connected(const Multigraph& g);
+
+/// Largest distance from src (ignores unreachable vertices).
+std::uint32_t eccentricity(const Multigraph& g, Vertex src);
+
+/// Exact diameter via all-sources BFS, parallelized over sources.
+std::uint32_t diameter_exact(const Multigraph& g);
+
+/// Double-sweep lower bound on the diameter: BFS from a random vertex, then
+/// BFS from the farthest vertex found.  Exact on trees; within 2x always.
+std::uint32_t diameter_double_sweep(const Multigraph& g, Prng& rng);
+
+/// Exact mean pairwise hop distance over ordered pairs, parallel BFS.
+double avg_distance_exact(const Multigraph& g);
+
+/// Estimate mean distance by BFS from `samples` random sources.
+double avg_distance_sampled(const Multigraph& g, Prng& rng,
+                            std::size_t samples);
+
+/// Mean distance: exact when n <= exact_cutoff, sampled otherwise.
+double avg_distance_auto(const Multigraph& g, Prng& rng,
+                         std::size_t exact_cutoff = 2048,
+                         std::size_t samples = 128);
+
+struct DegreeStats {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats degree_stats(const Multigraph& g);
+
+}  // namespace netemu

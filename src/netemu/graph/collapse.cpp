@@ -1,0 +1,31 @@
+#include "netemu/graph/collapse.hpp"
+
+#include <cassert>
+
+namespace netemu {
+
+CollapseResult collapse(const Multigraph& g,
+                        const std::vector<std::uint32_t>& part,
+                        std::uint32_t num_parts) {
+  assert(part.size() == g.num_vertices());
+  CollapseResult result;
+  result.load.assign(num_parts, 0);
+  for (std::uint32_t p : part) {
+    assert(p < num_parts);
+    ++result.load[p];
+  }
+  MultigraphBuilder b(num_parts);
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t pu = part[e.u];
+    const std::uint32_t pv = part[e.v];
+    if (pu == pv) {
+      result.dropped_loop_multiplicity += e.mult;
+    } else {
+      b.add_edge(pu, pv, e.mult);
+    }
+  }
+  result.quotient = std::move(b).build();
+  return result;
+}
+
+}  // namespace netemu

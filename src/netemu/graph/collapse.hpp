@@ -1,0 +1,32 @@
+#pragma once
+// Vertex collapse (quotient graph) — the Lemma 11 operation.
+//
+// Emulating a circuit on a host with fewer processors is modeled as a two
+// stage process: first collapse the circuit's nodes into |H| super-vertices
+// (edges inside a super-vertex become self-loops and disappear from the
+// quotient — that communication is free), then 1-to-1 embed the quotient
+// into the host.  collapse() implements the first stage and reports how much
+// multiplicity was absorbed by self-loops so the Lemma 11 audit can verify
+// that only O(nk) of the Ω(n²) traffic is lost.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+
+namespace netemu {
+
+struct CollapseResult {
+  Multigraph quotient;
+  /// Multiplicity of edges that became self-loops (intra-super-vertex).
+  std::uint64_t dropped_loop_multiplicity = 0;
+  /// Number of guest vertices assigned to each super-vertex (the load).
+  std::vector<std::uint32_t> load;
+};
+
+/// part[v] in [0, num_parts) names the super-vertex of v.
+CollapseResult collapse(const Multigraph& g,
+                        const std::vector<std::uint32_t>& part,
+                        std::uint32_t num_parts);
+
+}  // namespace netemu

@@ -1,0 +1,50 @@
+#include "netemu/graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netemu {
+
+std::string to_dot(const Multigraph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v;
+    if (e.mult != 1) os << " [label=\"x" << e.mult << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Multigraph& g) {
+  std::ostringstream os;
+  os << g.num_vertices() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << e.u << " " << e.v << " " << e.mult << "\n";
+  }
+  return os.str();
+}
+
+Multigraph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::invalid_argument("edge list: missing vertex count");
+  MultigraphBuilder b(n);
+  Vertex u, v;
+  std::uint32_t mult;
+  while (is >> u >> v >> mult) {
+    if (u >= n || v >= n) throw std::invalid_argument("edge list: vertex out of range");
+    if (u == v) throw std::invalid_argument("edge list: self-loop");
+    b.add_edge(u, v, mult);
+  }
+  if (!is.eof() && is.fail()) {
+    // Partial record (e.g. "1 2" with no multiplicity).
+    is.clear();
+    std::string rest;
+    if (is >> rest) throw std::invalid_argument("edge list: trailing garbage");
+  }
+  return std::move(b).build();
+}
+
+}  // namespace netemu

@@ -1,0 +1,18 @@
+#pragma once
+// Text serialization for Multigraph: DOT (for visual inspection) and a
+// trivially parseable edge-list format ("n\nu v mult\n...").
+
+#include <string>
+
+#include "netemu/graph/multigraph.hpp"
+
+namespace netemu {
+
+std::string to_dot(const Multigraph& g, const std::string& name = "G");
+
+std::string to_edge_list(const Multigraph& g);
+
+/// Inverse of to_edge_list.  Throws std::invalid_argument on malformed input.
+Multigraph from_edge_list(const std::string& text);
+
+}  // namespace netemu

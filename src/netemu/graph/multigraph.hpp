@@ -1,0 +1,112 @@
+#pragma once
+// Undirected multigraph with integer edge multiplicities.
+//
+// This is the single graph type of the paper: a *network multigraph* when
+// vertices are processors and edges are wires, and a *communication / traffic
+// multigraph* when edges are messages with multiplicity equal to relative
+// frequency.  E(G) — the paper's "number of simple edges" — is the sum of
+// multiplicities over all edges.
+//
+// Multigraph is immutable after construction; build with MultigraphBuilder.
+// Storage is CSR (offset array + arc array) so neighbor scans are contiguous,
+// which matters for the BFS-heavy kernels (all-pairs witnesses, routing).
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netemu {
+
+using Vertex = std::uint32_t;
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+/// One undirected edge in canonical (u < v) orientation.
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+  std::uint32_t mult = 1;
+};
+
+/// One direction of an edge as seen from a vertex's adjacency list.
+struct Arc {
+  Vertex to = 0;
+  std::uint32_t mult = 1;
+  std::uint32_t edge = 0;  ///< index into edges()
+};
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+
+  std::size_t num_vertices() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of distinct vertex pairs with at least one edge.
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// E(G): total edge multiplicity (the paper's "simple edges").
+  std::uint64_t total_multiplicity() const noexcept { return total_mult_; }
+
+  /// Degree counting multiplicities.
+  std::uint64_t degree(Vertex v) const noexcept { return degree_[v]; }
+
+  /// Number of distinct neighbors.
+  std::size_t num_neighbors(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Arc> neighbors(Vertex v) const noexcept {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::span<const Edge> edges() const noexcept { return edges_; }
+  const Edge& edge(std::uint32_t e) const noexcept { return edges_[e]; }
+
+  std::uint64_t max_degree() const noexcept;
+  std::uint64_t min_degree() const noexcept;
+
+  /// Multiplicity of the (u, v) pair, 0 if absent.  O(deg(u)).
+  std::uint32_t multiplicity(Vertex u, Vertex v) const noexcept;
+
+  /// The paper's xG: every multiplicity scaled by x.
+  Multigraph scaled(std::uint32_t x) const;
+
+  /// Same vertex set and edge pairs, all multiplicities forced to 1.
+  Multigraph simple() const;
+
+ private:
+  friend class MultigraphBuilder;
+
+  std::vector<std::size_t> offsets_;   // n+1
+  std::vector<Arc> arcs_;              // 2 * num_edges()
+  std::vector<Edge> edges_;            // canonical u < v
+  std::vector<std::uint64_t> degree_;  // weighted degree per vertex
+  std::uint64_t total_mult_ = 0;
+};
+
+/// Accumulating builder: add_edge on the same pair sums multiplicities.
+class MultigraphBuilder {
+ public:
+  explicit MultigraphBuilder(std::size_t num_vertices)
+      : n_(num_vertices) {}
+
+  std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Self-loops are rejected: the paper's machines have none, and collapse()
+  /// accounts for loops explicitly before reaching the builder.
+  void add_edge(Vertex u, Vertex v, std::uint32_t mult = 1) {
+    assert(u != v && "self-loops are not representable");
+    assert(u < n_ && v < n_);
+    if (u > v) std::swap(u, v);
+    raw_.push_back(Edge{u, v, mult});
+  }
+
+  /// Deduplicates, sorts, and freezes into CSR form.
+  Multigraph build() &&;
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> raw_;
+};
+
+}  // namespace netemu

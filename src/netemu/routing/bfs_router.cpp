@@ -1,0 +1,82 @@
+#include "netemu/routing/bfs_router.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace netemu {
+
+namespace {
+constexpr std::uint16_t kFar = std::numeric_limits<std::uint16_t>::max();
+}
+
+BfsRouter::BfsRouter(const Machine& machine, bool spread,
+                     std::size_t cache_budget_bytes)
+    : machine_(machine),
+      spread_(spread),
+      cache_budget_entries_(cache_budget_bytes / sizeof(std::uint16_t)) {}
+
+const std::vector<std::uint16_t>& BfsRouter::distance_field(Vertex dst) {
+  const auto it = fields_.find(dst);
+  if (it != fields_.end()) return it->second;
+
+  const Multigraph& g = machine_.graph;
+  const std::size_t n = g.num_vertices();
+  if (cached_entries_ + n > cache_budget_entries_) {
+    fields_.clear();
+    cached_entries_ = 0;
+  }
+  std::vector<std::uint16_t> dist(n, kFar);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  dist[dst] = 0;
+  queue.push_back(dst);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Vertex u = queue[head++];
+    const std::uint16_t du = dist[u];
+    for (const Arc& a : g.neighbors(u)) {
+      if (dist[a.to] == kFar) {
+        dist[a.to] = static_cast<std::uint16_t>(du + 1);
+        queue.push_back(a.to);
+      }
+    }
+  }
+  cached_entries_ += n;
+  return fields_.emplace(dst, std::move(dist)).first->second;
+}
+
+std::vector<Vertex> BfsRouter::route(Vertex src, Vertex dst, Prng& rng) {
+  if (src == dst) return {src};
+  const auto& dist = distance_field(dst);
+  if (dist[src] == kFar) {
+    throw std::runtime_error("BfsRouter: destination unreachable");
+  }
+  std::vector<Vertex> path;
+  path.reserve(dist[src] + 1u);
+  path.push_back(src);
+  Vertex cur = src;
+  while (cur != dst) {
+    const std::uint16_t want = static_cast<std::uint16_t>(dist[cur] - 1);
+    Vertex next = kNoVertex;
+    if (spread_) {
+      // Reservoir-sample uniformly among descent neighbors.
+      std::uint32_t seen = 0;
+      for (const Arc& a : machine_.graph.neighbors(cur)) {
+        if (dist[a.to] == want && rng.below(++seen) == 0) next = a.to;
+      }
+    } else {
+      for (const Arc& a : machine_.graph.neighbors(cur)) {
+        if (dist[a.to] == want && (next == kNoVertex || a.to < next)) {
+          next = a.to;
+        }
+      }
+    }
+    assert(next != kNoVertex);
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace netemu

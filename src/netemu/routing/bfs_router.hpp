@@ -1,0 +1,39 @@
+#pragma once
+// Generic random-shortest-path router.
+//
+// For each destination it lazily computes and caches the hop-distance field
+// (uint16_t per vertex: 32 MB even at n = 2^24 / one dst, bounded overall by
+// an LRU-free "clear when over budget" policy).  A route is then a greedy
+// descent: from the current vertex, step to a uniformly random neighbor at
+// distance d-1.  Uniform choice over the shortest-path DAG is what spreads
+// congestion — the deterministic-parent alternative is an ablation knob.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netemu/routing/router.hpp"
+
+namespace netemu {
+
+class BfsRouter final : public Router {
+ public:
+  /// spread=true picks a random predecessor in the shortest-path DAG;
+  /// false always takes the lowest-numbered one (deterministic).
+  explicit BfsRouter(const Machine& machine, bool spread = true,
+                     std::size_t cache_budget_bytes = 256u << 20);
+
+  std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) override;
+  const char* name() const override { return spread_ ? "bfs-random" : "bfs"; }
+
+ private:
+  const std::vector<std::uint16_t>& distance_field(Vertex dst);
+
+  const Machine& machine_;
+  bool spread_;
+  std::size_t cache_budget_entries_;
+  std::size_t cached_entries_ = 0;
+  std::unordered_map<Vertex, std::vector<std::uint16_t>> fields_;
+};
+
+}  // namespace netemu

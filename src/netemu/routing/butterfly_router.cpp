@@ -1,0 +1,115 @@
+#include "netemu/routing/butterfly_router.hpp"
+
+#include <cassert>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+ButterflyRouter::ButterflyRouter(const Machine& machine)
+    : d_(machine.shape.at(0)), rows_(ipow(2, machine.shape.at(0))) {
+  assert(machine.family == Family::kButterfly ||
+         machine.family == Family::kMultibutterfly);
+}
+
+std::vector<Vertex> ButterflyRouter::route(Vertex src, Vertex dst,
+                                           Prng& /*rng*/) {
+  const std::uint64_t l1 = src / rows_, r1 = src % rows_;
+  const std::uint64_t l2 = dst / rows_, r2 = dst % rows_;
+  std::uint64_t needed = r1 ^ r2;
+
+  std::uint64_t level = l1, row = r1;
+  std::vector<Vertex> path{src};
+  auto push = [&] {
+    path.push_back(static_cast<Vertex>(level * rows_ + row));
+  };
+
+  // Descend to the lowest needed boundary (crossing boundary i downward may
+  // fix bit i).
+  std::uint64_t down_target = level;
+  for (unsigned i = 0; i < d_; ++i) {
+    if (needed >> i & 1u) {
+      down_target = std::min<std::uint64_t>(down_target, i);
+      break;
+    }
+  }
+  down_target = std::min<std::uint64_t>(down_target, l2);
+  while (level > down_target) {
+    const unsigned boundary = static_cast<unsigned>(level - 1);
+    if (needed >> boundary & 1u) {
+      row ^= 1ULL << boundary;
+      needed &= ~(1ULL << boundary);
+    }
+    --level;
+    push();
+  }
+
+  // Ascend past every remaining needed boundary (and at least to l2).
+  std::uint64_t up_target = l2;
+  for (unsigned i = d_; i-- > 0;) {
+    if (needed >> i & 1u) {
+      up_target = std::max<std::uint64_t>(up_target, i + 1u);
+      break;
+    }
+  }
+  while (level < up_target) {
+    const unsigned boundary = static_cast<unsigned>(level);
+    if (needed >> boundary & 1u) {
+      row ^= 1ULL << boundary;
+      needed &= ~(1ULL << boundary);
+    }
+    ++level;
+    push();
+  }
+
+  // Settle straight down to the destination level.
+  while (level > l2) {
+    --level;
+    push();
+  }
+  assert(level == l2 && row == r2 && needed == 0);
+  return path;
+}
+
+ShuffleExchangeRouter::ShuffleExchangeRouter(const Machine& machine)
+    : d_(machine.shape.at(0)) {
+  assert(machine.family == Family::kShuffleExchange);
+}
+
+std::vector<Vertex> ShuffleExchangeRouter::route(Vertex src, Vertex dst,
+                                                 Prng& /*rng*/) {
+  std::vector<Vertex> path{src};
+  std::uint64_t cur = src;
+  // d rounds: force the lsb to bit k of dst, then rotate right — bit k ends
+  // up back at position k after the remaining rotations.
+  for (unsigned k = 0; k < d_; ++k) {
+    const std::uint64_t want = (dst >> k) & 1u;
+    if ((cur & 1u) != want) {
+      cur ^= 1u;
+      path.push_back(static_cast<Vertex>(cur));
+    }
+    const std::uint64_t next = rotr_bits(cur, d_);
+    if (next != cur) {
+      path.push_back(static_cast<Vertex>(next));
+    }
+    cur = next;
+  }
+  assert(cur == dst);
+  return path;
+}
+
+ValiantRouter::ValiantRouter(const Machine& machine,
+                             std::unique_ptr<Router> base)
+    : machine_(machine), base_(std::move(base)) {}
+
+std::vector<Vertex> ValiantRouter::route(Vertex src, Vertex dst, Prng& rng) {
+  if (src == dst) return {src};
+  const auto w = static_cast<Vertex>(
+      rng.below(machine_.graph.num_vertices()));
+  std::vector<Vertex> first = base_->route(src, w, rng);
+  const std::vector<Vertex> second = base_->route(w, dst, rng);
+  first.insert(first.end(), second.begin() + 1, second.end());
+  return first;
+}
+
+}  // namespace netemu

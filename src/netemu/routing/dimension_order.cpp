@@ -1,0 +1,119 @@
+#include "netemu/routing/dimension_order.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+DimensionOrderRouter::DimensionOrderRouter(const Machine& machine)
+    : machine_(machine) {
+  assert(machine.family == Family::kMesh || machine.family == Family::kTorus ||
+         machine.family == Family::kXGrid);
+}
+
+std::vector<Vertex> DimensionOrderRouter::route(Vertex src, Vertex dst,
+                                                Prng& rng) {
+  const auto& sides = machine_.shape;
+  const std::size_t k = sides.size();
+  auto cur = detail::grid_coord(sides, src);
+  const auto goal = detail::grid_coord(sides, dst);
+  const bool wrap = machine_.family == Family::kTorus;
+  const bool diagonal = machine_.family == Family::kXGrid;
+
+  // Per-axis step direction (+1 / -1 / 0), shorter way around on the torus.
+  auto step_of = [&](std::size_t d) -> int {
+    if (cur[d] == goal[d]) return 0;
+    if (!wrap || sides[d] <= 2) return goal[d] > cur[d] ? 1 : -1;
+    const std::uint32_t fwd =
+        (goal[d] + sides[d] - cur[d]) % sides[d];  // steps going +1
+    return 2 * fwd <= sides[d] ? 1 : -1;
+  };
+  auto advance = [&](std::size_t d, int dir) {
+    cur[d] = static_cast<std::uint32_t>(
+        (static_cast<long long>(cur[d]) + dir + sides[d]) % sides[d]);
+  };
+
+  std::vector<std::size_t> axes(k);
+  std::iota(axes.begin(), axes.end(), std::size_t{0});
+  shuffle(axes, rng);
+
+  std::vector<Vertex> path{src};
+  if (diagonal) {
+    // Correct pairs of axes through diagonals while at least two differ.
+    for (;;) {
+      std::size_t a = k, b = k;
+      for (std::size_t d : axes) {
+        if (cur[d] != goal[d]) {
+          if (a == k) {
+            a = d;
+          } else {
+            b = d;
+            break;
+          }
+        }
+      }
+      if (a == k) break;  // arrived
+      const int da = step_of(a);
+      advance(a, da);
+      if (b != k) advance(b, step_of(b));
+      path.push_back(
+          static_cast<Vertex>(detail::grid_index(sides, cur)));
+    }
+    return path;
+  }
+
+  for (std::size_t d : axes) {
+    while (cur[d] != goal[d]) {
+      advance(d, step_of(d));
+      path.push_back(static_cast<Vertex>(detail::grid_index(sides, cur)));
+    }
+  }
+  return path;
+}
+
+BitFixRouter::BitFixRouter(const Machine& machine) : d_(machine.shape[0]) {
+  assert(machine.family == Family::kHypercube);
+}
+
+std::vector<Vertex> BitFixRouter::route(Vertex src, Vertex dst, Prng& rng) {
+  std::vector<unsigned> bits;
+  for (unsigned p = 0; p < d_; ++p) {
+    if (((src ^ dst) >> p) & 1u) bits.push_back(p);
+  }
+  shuffle(bits, rng);
+  std::vector<Vertex> path{src};
+  Vertex cur = src;
+  for (unsigned p : bits) {
+    cur ^= static_cast<Vertex>(1u << p);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+DeBruijnShiftRouter::DeBruijnShiftRouter(const Machine& machine)
+    : d_(machine.shape[0]) {
+  assert(machine.family == Family::kDeBruijn);
+}
+
+std::vector<Vertex> DeBruijnShiftRouter::route(Vertex src, Vertex dst,
+                                               Prng& /*rng*/) {
+  const std::uint64_t n = ipow(2, d_);
+  std::vector<Vertex> path{src};
+  std::uint64_t cur = src;
+  // Feed dst's bits in from MSB to LSB; after d shifts cur == dst.
+  for (unsigned i = d_; i-- > 0;) {
+    const std::uint64_t bit = (dst >> i) & 1u;
+    const std::uint64_t next = (cur * 2 + bit) % n;
+    if (next != cur) {
+      path.push_back(static_cast<Vertex>(next));
+    }
+    cur = next;
+  }
+  assert(cur == dst);
+  return path;
+}
+
+}  // namespace netemu

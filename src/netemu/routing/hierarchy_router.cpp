@@ -1,0 +1,100 @@
+#include "netemu/routing/hierarchy_router.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+HierarchyRouter::HierarchyRouter(const Machine& machine)
+    : k_(machine.dims), base_side_(machine.shape.at(0)) {
+  assert(machine.family == Family::kPyramid ||
+         machine.family == Family::kMultigrid);
+  std::uint64_t offset = 0;
+  for (std::uint32_t s = base_side_; s >= 1; s /= 2) {
+    level_offset_.push_back(offset);
+    level_side_.push_back(s);
+    offset += ipow(s, k_);
+    if (s == 1) break;
+  }
+}
+
+HierarchyRouter::Position HierarchyRouter::position_of(Vertex v) const {
+  std::uint32_t level = 0;
+  while (level + 1 < level_offset_.size() && v >= level_offset_[level + 1]) {
+    ++level;
+  }
+  const std::vector<std::uint32_t> sides(k_, level_side_[level]);
+  return Position{level,
+                  detail::grid_coord(sides, v - level_offset_[level])};
+}
+
+Vertex HierarchyRouter::vertex_of(
+    std::uint32_t level, const std::vector<std::uint32_t>& coord) const {
+  const std::vector<std::uint32_t> sides(k_, level_side_[level]);
+  return static_cast<Vertex>(level_offset_[level] +
+                             detail::grid_index(sides, coord));
+}
+
+std::vector<std::uint32_t> HierarchyRouter::descend(
+    std::uint32_t level, std::vector<std::uint32_t> coord,
+    std::vector<Vertex>& out) const {
+  // The corner descendant doubles coordinates per level; both the pyramid
+  // (corner child's parent is this vertex) and the multigrid (explicit
+  // corner edge) have the needed edge.
+  while (level > 0) {
+    --level;
+    for (auto& c : coord) c *= 2;
+    out.push_back(vertex_of(level, coord));
+  }
+  return coord;
+}
+
+std::vector<Vertex> HierarchyRouter::route(Vertex src, Vertex dst,
+                                           Prng& rng) {
+  if (src == dst) return {src};
+  std::vector<Vertex> path{src};
+
+  const Position ps = position_of(src);
+  const Position pd = position_of(dst);
+  auto cur = descend(ps.level, ps.coord, path);
+
+  // Base-level target: the corner descendant of dst.
+  auto goal = pd.coord;
+  for (std::uint32_t l = pd.level; l > 0; --l) {
+    for (auto& c : goal) c *= 2;
+  }
+
+  // Randomized dimension-order across the base mesh.
+  std::vector<std::size_t> axes(k_);
+  std::iota(axes.begin(), axes.end(), std::size_t{0});
+  shuffle(axes, rng);
+  for (std::size_t d : axes) {
+    while (cur[d] != goal[d]) {
+      cur[d] += cur[d] < goal[d] ? 1 : -1;
+      path.push_back(vertex_of(0, cur));
+    }
+  }
+
+  // Ascend to dst by reversing its descent chain.
+  if (pd.level > 0) {
+    std::vector<Vertex> down{dst};
+    auto coord = pd.coord;
+    std::uint32_t level = pd.level;
+    while (level > 0) {
+      --level;
+      for (auto& c : coord) c *= 2;
+      down.push_back(vertex_of(level, coord));
+    }
+    // down = dst, ..., base corner; append in reverse skipping the base
+    // vertex (already at the end of `path`).
+    for (std::size_t i = down.size() - 1; i-- > 0;) {
+      path.push_back(down[i]);
+    }
+  }
+  return path;
+}
+
+}  // namespace netemu

@@ -1,0 +1,43 @@
+#pragma once
+// Router for the hierarchical mesh families (Pyramid, Multigrid).
+//
+// BFS-shortest paths on these machines funnel almost all symmetric traffic
+// through the apex levels (diameter Θ(lg n)), whose aggregate capacity is
+// constant — the measured rate then plateaus at Θ(1) even though the
+// machines' bisection is Θ(n^{(k-1)/k}).  The bandwidth-achieving schedule
+// instead crosses the BASE mesh: descend from the source to its base-level
+// corner descendant, dimension-order across the base, ascend to the
+// destination.  Dilation grows to Θ(n^{1/k}) but congestion drops to the
+// mesh's, which is exactly the trade the Θ-form of Table 4 is about.
+
+#include "netemu/routing/router.hpp"
+
+namespace netemu {
+
+class HierarchyRouter final : public Router {
+ public:
+  explicit HierarchyRouter(const Machine& machine);
+  std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) override;
+  const char* name() const override { return "hierarchy-base"; }
+
+ private:
+  struct Position {
+    std::uint32_t level;
+    std::vector<std::uint32_t> coord;
+  };
+  Position position_of(Vertex v) const;
+  Vertex vertex_of(std::uint32_t level,
+                   const std::vector<std::uint32_t>& coord) const;
+  /// Append the descent from (level, coord) to the base corner descendant;
+  /// returns the base coordinates.  Emits vertices AFTER the starting one.
+  std::vector<std::uint32_t> descend(std::uint32_t level,
+                                     std::vector<std::uint32_t> coord,
+                                     std::vector<Vertex>& out) const;
+
+  unsigned k_;
+  std::uint32_t base_side_;
+  std::vector<std::uint64_t> level_offset_;  // per level, base = level 0
+  std::vector<std::uint32_t> level_side_;
+};
+
+}  // namespace netemu

@@ -1,0 +1,188 @@
+#include "netemu/routing/packet_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace netemu {
+
+const char* arbitration_name(Arbitration a) {
+  switch (a) {
+    case Arbitration::kFarthestFirst: return "farthest-first";
+    case Arbitration::kFifo: return "fifo";
+    case Arbitration::kRandom: return "random";
+  }
+  return "?";
+}
+
+PacketSimulator::PacketSimulator(const Machine& machine,
+                                 Arbitration arbitration)
+    : machine_(machine), arbitration_(arbitration) {
+  const Multigraph& g = machine.graph;
+  const std::size_t n = g.num_vertices();
+  arc_base_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    arc_base_[v + 1] = arc_base_[v] + g.num_neighbors(static_cast<Vertex>(v));
+  }
+  const std::size_t channels = arc_base_[n];
+  arc_to_.resize(channels);
+  channel_cap_.resize(channels);
+  channel_tail_.resize(channels);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Sort each vertex's outgoing channels by head so channel_of can
+    // binary-search.
+    auto arcs = g.neighbors(static_cast<Vertex>(v));
+    std::vector<Arc> sorted(arcs.begin(), arcs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const std::size_t c = arc_base_[v] + i;
+      arc_to_[c] = sorted[i].to;
+      channel_cap_[c] = sorted[i].mult;
+      channel_tail_[c] = static_cast<Vertex>(v);
+    }
+  }
+}
+
+std::uint32_t PacketSimulator::channel_of(Vertex u, Vertex v) const {
+  const auto begin = arc_to_.begin() + static_cast<std::ptrdiff_t>(arc_base_[u]);
+  const auto end = arc_to_.begin() + static_cast<std::ptrdiff_t>(arc_base_[u + 1]);
+  const auto it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) {
+    throw std::runtime_error("PacketSimulator: path uses a missing edge");
+  }
+  return static_cast<std::uint32_t>(it - arc_to_.begin());
+}
+
+BatchStats PacketSimulator::run_batch(
+    const std::vector<std::vector<Vertex>>& paths, Prng& rng) {
+  BatchStats stats;
+  const std::size_t m = paths.size();
+
+  // Flatten paths into channel sequences.
+  std::vector<std::uint32_t> seq;
+  std::vector<std::uint32_t> seq_off(m + 1, 0);
+  {
+    std::size_t total = 0;
+    for (const auto& p : paths) total += p.empty() ? 0 : p.size() - 1;
+    seq.reserve(total);
+  }
+  std::vector<std::uint32_t> load(channel_cap_.size(), 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& p = paths[i];
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      const std::uint32_t c = channel_of(p[j], p[j + 1]);
+      seq.push_back(c);
+      ++load[c];
+    }
+    seq_off[i + 1] = static_cast<std::uint32_t>(seq.size());
+  }
+  for (std::uint32_t l : load) {
+    stats.static_congestion = std::max<std::uint64_t>(stats.static_congestion, l);
+  }
+  stats.total_hops = seq.size();
+  stats.delivered = m;
+
+  // Per-message cursor and priority key.
+  std::vector<std::uint32_t> pos(m, 0);
+  std::vector<std::uint32_t> rand_key(m);
+  if (arbitration_ == Arbitration::kRandom) {
+    for (auto& k : rand_key) k = static_cast<std::uint32_t>(rng());
+  }
+
+  // Messages with empty channel sequence deliver at tick 0 with latency 0.
+  std::vector<std::uint32_t> active;
+  active.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (seq_off[i + 1] > seq_off[i]) active.push_back(i);
+  }
+
+  // earlier-in-order == higher priority
+  auto higher_priority = [&](std::uint32_t a, std::uint32_t b) {
+    switch (arbitration_) {
+      case Arbitration::kFarthestFirst: {
+        const std::uint32_t ra = seq_off[a + 1] - seq_off[a] - pos[a];
+        const std::uint32_t rb = seq_off[b + 1] - seq_off[b] - pos[b];
+        if (ra != rb) return ra > rb;
+        return a < b;
+      }
+      case Arbitration::kFifo:
+        return a < b;
+      case Arbitration::kRandom:
+        if (rand_key[a] != rand_key[b]) return rand_key[a] < rand_key[b];
+        return a < b;
+    }
+    return a < b;
+  };
+
+  std::vector<std::vector<std::uint32_t>> channel_req(channel_cap_.size());
+  std::vector<std::uint32_t> touched_channels;
+  const bool node_capped = !machine_.forward_cap.empty();
+  std::vector<std::vector<std::uint32_t>> node_req(
+      node_capped ? machine_.graph.num_vertices() : 0);
+  std::vector<Vertex> touched_nodes;
+  std::vector<std::uint32_t> winners;
+
+  std::uint64_t tick = 0;
+  double latency_sum = 0.0;
+  while (!active.empty()) {
+    ++tick;
+    touched_channels.clear();
+    for (std::uint32_t msg : active) {
+      const std::uint32_t c = seq[seq_off[msg] + pos[msg]];
+      if (channel_req[c].empty()) touched_channels.push_back(c);
+      channel_req[c].push_back(msg);
+    }
+
+    winners.clear();
+    for (std::uint32_t c : touched_channels) {
+      auto& req = channel_req[c];
+      const std::uint32_t cap = channel_cap_[c];
+      if (req.size() > cap) {
+        std::nth_element(req.begin(), req.begin() + cap - 1, req.end(),
+                         higher_priority);
+        req.resize(cap);
+      }
+      winners.insert(winners.end(), req.begin(), req.end());
+      req.clear();
+    }
+
+    if (node_capped) {
+      touched_nodes.clear();
+      for (std::uint32_t msg : winners) {
+        const Vertex tail = channel_tail_[seq[seq_off[msg] + pos[msg]]];
+        if (node_req[tail].empty()) touched_nodes.push_back(tail);
+        node_req[tail].push_back(msg);
+      }
+      winners.clear();
+      for (Vertex v : touched_nodes) {
+        auto& req = node_req[v];
+        const std::uint32_t cap = machine_.forward_cap[v];
+        if (cap != kUnlimitedForward && req.size() > cap) {
+          std::nth_element(req.begin(), req.begin() + cap - 1, req.end(),
+                           higher_priority);
+          req.resize(cap);
+        }
+        winners.insert(winners.end(), req.begin(), req.end());
+        req.clear();
+      }
+    }
+
+    // Advance winners; retire delivered messages.
+    for (std::uint32_t msg : winners) {
+      if (++pos[msg] == seq_off[msg + 1] - seq_off[msg]) {
+        latency_sum += static_cast<double>(tick);
+        stats.makespan = tick;
+      }
+    }
+    // Compact the active list (delivered messages drop out).
+    std::erase_if(active, [&](std::uint32_t msg) {
+      return pos[msg] == seq_off[msg + 1] - seq_off[msg];
+    });
+  }
+
+  stats.avg_latency = m == 0 ? 0.0 : latency_sum / static_cast<double>(m);
+  return stats;
+}
+
+}  // namespace netemu

@@ -1,0 +1,68 @@
+#pragma once
+// Cycle-accurate store-and-forward packet simulator.
+//
+// Model (matches the paper's accounting in Theorem 6):
+//  * one message crosses a wire per tick and per direction; an edge of
+//    multiplicity m is m parallel wires;
+//  * a machine may additionally impose a per-node forwarding capacity
+//    (weak machines, the bus hub);
+//  * all messages of a batch are present at tick 0 and the batch's makespan
+//    is the delivery time of the last one — bandwidth is then
+//    messages / makespan in the large-batch limit.
+//
+// Contention is resolved by an arbitration policy; farthest-remaining-first
+// is the default (it is the policy family behind the O(congestion+dilation)
+// routing theorem the paper leans on), FIFO and random are ablation knobs.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+enum class Arbitration { kFarthestFirst, kFifo, kRandom };
+
+const char* arbitration_name(Arbitration a);
+
+struct BatchStats {
+  std::uint64_t makespan = 0;      ///< ticks until the last delivery
+  std::uint64_t delivered = 0;     ///< messages delivered (== batch size)
+  std::uint64_t total_hops = 0;    ///< sum of path lengths
+  double avg_latency = 0.0;        ///< mean delivery tick
+  std::uint64_t static_congestion = 0;  ///< max directed-wire load of paths
+
+  double rate() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(delivered) /
+                               static_cast<double>(makespan);
+  }
+};
+
+class PacketSimulator {
+ public:
+  explicit PacketSimulator(const Machine& machine,
+                           Arbitration arbitration = Arbitration::kFarthestFirst);
+
+  /// Route a batch of full vertex paths to completion.  Paths of length <= 1
+  /// deliver instantly.  rng feeds the random arbitration policy only.
+  BatchStats run_batch(const std::vector<std::vector<Vertex>>& paths,
+                       Prng& rng);
+
+  std::size_t num_channels() const { return channel_cap_.size(); }
+
+ private:
+  std::uint32_t channel_of(Vertex u, Vertex v) const;
+
+  const Machine& machine_;
+  Arbitration arbitration_;
+  // Directed channel table: channel id = arc slot in a flattened per-vertex
+  // layout; capacity = edge multiplicity.
+  std::vector<std::size_t> arc_base_;          // per-vertex offset
+  std::vector<Vertex> arc_to_;                 // channel -> head vertex
+  std::vector<std::uint32_t> channel_cap_;     // channel -> wires
+  std::vector<Vertex> channel_tail_;           // channel -> tail vertex
+};
+
+}  // namespace netemu

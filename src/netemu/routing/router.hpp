@@ -1,0 +1,43 @@
+#pragma once
+// Router interface: a router turns (src, dst) into a concrete walk through
+// the machine.  Specialized routers exist for the algebraically-routable
+// families (dimension-order for grids, bit-fixing for hypercubes, shift
+// routing for de Bruijn, level routing for butterflies, LCA for trees);
+// BfsRouter covers everything else with random shortest paths.
+
+#include <memory>
+#include <vector>
+
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Walk from src to dst inclusive of both endpoints; consecutive entries
+  /// must be adjacent in the machine's graph.  rng may be used for
+  /// congestion-spreading tie-breaks.
+  virtual std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Family-dispatched router choice: algebraic router when one exists for
+/// machine.family, BfsRouter otherwise.
+std::unique_ptr<Router> make_default_router(const Machine& machine);
+
+/// Always the generic BFS router (for ablations).
+std::unique_ptr<Router> make_bfs_router(const Machine& machine);
+
+/// Valiant two-phase randomization wrapped around the machine's default
+/// router: src -> random intermediate -> dst.
+std::unique_ptr<Router> make_valiant_router(const Machine& machine);
+
+/// Validity check used by tests: path edges all exist, endpoints match.
+bool path_is_valid(const Multigraph& g, const std::vector<Vertex>& path,
+                   Vertex src, Vertex dst);
+
+}  // namespace netemu

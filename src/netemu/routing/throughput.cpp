@@ -1,0 +1,61 @@
+#include "netemu/routing/throughput.hpp"
+
+#include <algorithm>
+
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/util/stats.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::vector<std::vector<Vertex>> make_paths(
+    const std::vector<Message>& batch, Router& router, Prng& rng) {
+  std::vector<std::vector<Vertex>> paths;
+  paths.reserve(batch.size());
+  for (const Message& msg : batch) {
+    paths.push_back(router.route(msg.src, msg.dst, rng));
+  }
+  return paths;
+}
+
+}  // namespace
+
+ThroughputResult measure_throughput(const Machine& machine, Router& router,
+                                    const TrafficDistribution& traffic,
+                                    Prng& rng,
+                                    const ThroughputOptions& options) {
+  ThroughputResult result;
+  PacketSimulator sim(machine, options.arbitration);
+
+  const std::uint64_t diameter_lb = diameter_double_sweep(machine.graph, rng);
+  const std::uint64_t target_makespan =
+      std::max<std::uint64_t>(options.min_makespan, 4 * diameter_lb);
+
+  std::size_t m = std::clamp<std::size_t>(
+      options.messages_per_processor * traffic.num_processors(), 512,
+      options.max_messages);
+
+  // Grow the batch until the transient is negligible.
+  for (;;) {
+    const auto paths = make_paths(traffic.batch(m, rng), router, rng);
+    result.last = sim.run_batch(paths, rng);
+    if (result.last.makespan >= target_makespan ||
+        m >= options.max_messages) {
+      break;
+    }
+    m = std::min(options.max_messages, m * 2);
+  }
+  result.messages = m;
+
+  std::vector<double> rates{result.last.rate()};
+  for (unsigned t = 1; t < options.trials; ++t) {
+    const auto paths = make_paths(traffic.batch(m, rng), router, rng);
+    result.last = sim.run_batch(paths, rng);
+    rates.push_back(result.last.rate());
+  }
+  result.rate = median(std::move(rates));
+  return result;
+}
+
+}  // namespace netemu

@@ -1,0 +1,36 @@
+#pragma once
+// Operational bandwidth measurement: β(M, π) is the expected delivery rate
+// of a large batch of π-distributed messages (the m → ∞ limit of m / T(m)).
+//
+// The meter grows the batch until the makespan dwarfs both the machine's
+// diameter and a floor, so the startup/drain transient cannot bias the rate,
+// then reports the median rate over independent trials.
+
+#include <cstddef>
+
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/routing/router.hpp"
+#include "netemu/traffic/distribution.hpp"
+
+namespace netemu {
+
+struct ThroughputOptions {
+  std::size_t messages_per_processor = 8;  ///< initial batch sizing
+  std::size_t max_messages = 1u << 17;     ///< hard cap on batch growth
+  std::uint64_t min_makespan = 256;        ///< floor (also >= 4 * diameter)
+  unsigned trials = 3;
+  Arbitration arbitration = Arbitration::kFarthestFirst;
+};
+
+struct ThroughputResult {
+  double rate = 0.0;        ///< β̂: median delivery rate over trials
+  std::size_t messages = 0; ///< batch size finally used
+  BatchStats last;          ///< stats of the last trial
+};
+
+ThroughputResult measure_throughput(const Machine& machine, Router& router,
+                                    const TrafficDistribution& traffic,
+                                    Prng& rng,
+                                    const ThroughputOptions& options = {});
+
+}  // namespace netemu

@@ -1,0 +1,87 @@
+#include "netemu/routing/tree_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+TreeRouter::TreeRouter(const Machine& machine) {
+  assert(machine.family == Family::kTree ||
+         machine.family == Family::kFatTree ||
+         machine.family == Family::kWeakPPN);
+  (void)machine;
+}
+
+std::vector<Vertex> TreeRouter::route(Vertex src, Vertex dst, Prng& /*rng*/) {
+  // Heap depth of vertex i is ilog2(i + 1).
+  std::vector<Vertex> up{src};
+  std::vector<Vertex> down{dst};
+  Vertex a = src, b = dst;
+  while (ilog2(a + 1u) > ilog2(b + 1u)) {
+    a = (a - 1) / 2;
+    up.push_back(a);
+  }
+  while (ilog2(b + 1u) > ilog2(a + 1u)) {
+    b = (b - 1) / 2;
+    down.push_back(b);
+  }
+  while (a != b) {
+    a = (a - 1) / 2;
+    up.push_back(a);
+    b = (b - 1) / 2;
+    down.push_back(b);
+  }
+  up.pop_back();  // LCA would be duplicated
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+LineRouter::LineRouter(const Machine& machine) {
+  assert(machine.family == Family::kLinearArray);
+  (void)machine;
+}
+
+std::vector<Vertex> LineRouter::route(Vertex src, Vertex dst, Prng& /*rng*/) {
+  std::vector<Vertex> path;
+  path.reserve(static_cast<std::size_t>(
+                   src > dst ? src - dst : dst - src) + 1);
+  const int dir = dst >= src ? 1 : -1;
+  for (Vertex v = src;; v = static_cast<Vertex>(static_cast<int>(v) + dir)) {
+    path.push_back(v);
+    if (v == dst) break;
+  }
+  return path;
+}
+
+RingRouter::RingRouter(const Machine& machine)
+    : n_(machine.graph.num_vertices()) {
+  assert(machine.family == Family::kRing);
+}
+
+std::vector<Vertex> RingRouter::route(Vertex src, Vertex dst, Prng& /*rng*/) {
+  std::vector<Vertex> path{src};
+  if (src == dst) return path;
+  const std::size_t fwd = (dst + n_ - src) % n_;
+  const int dir = 2 * fwd <= n_ ? 1 : -1;
+  Vertex cur = src;
+  while (cur != dst) {
+    cur = static_cast<Vertex>((cur + n_ + static_cast<std::size_t>(dir)) % n_);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+BusRouter::BusRouter(const Machine& machine)
+    : hub_(static_cast<Vertex>(machine.graph.num_vertices() - 1)) {
+  assert(machine.family == Family::kGlobalBus);
+}
+
+std::vector<Vertex> BusRouter::route(Vertex src, Vertex dst, Prng& /*rng*/) {
+  if (src == dst) return {src};
+  if (src == hub_ || dst == hub_) return {src, dst};
+  return {src, hub_, dst};
+}
+
+}  // namespace netemu

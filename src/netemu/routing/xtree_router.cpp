@@ -1,0 +1,66 @@
+#include "netemu/routing/xtree_router.hpp"
+
+#include <cassert>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+namespace {
+
+unsigned depth_of(Vertex v) { return ilog2(v + 1u); }
+
+/// Ancestor of v at depth d (d <= depth(v)).
+Vertex ancestor_at(Vertex v, unsigned d) {
+  for (unsigned cur = depth_of(v); cur > d; --cur) {
+    v = (v - 1) / 2;
+  }
+  return v;
+}
+
+}  // namespace
+
+XTreeRouter::XTreeRouter(const Machine& machine)
+    : height_(machine.shape.at(0)) {
+  assert(machine.family == Family::kXTree);
+}
+
+std::vector<Vertex> XTreeRouter::route(Vertex src, Vertex dst, Prng& rng) {
+  if (src == dst) return {src};
+  const unsigned du = depth_of(src), dv = depth_of(dst);
+  // Crossing depth: uniform over the rings both endpoints can reach, but no
+  // deeper than the LCA's depth + a few levels — locality for nearby pairs
+  // while the global traffic still spreads over Θ(lg n) rings.
+  const unsigned reach = std::min(du, dv);
+  const unsigned l =
+      static_cast<unsigned>(rng.below(reach + 1u));
+
+  std::vector<Vertex> path{src};
+  Vertex cur = src;
+  // Climb to depth l.
+  while (depth_of(cur) > l) {
+    cur = (cur - 1) / 2;
+    path.push_back(cur);
+  }
+  // Walk laterally along ring l to dst's ancestor.
+  const Vertex target = ancestor_at(dst, l);
+  while (cur != target) {
+    cur = cur < target ? cur + 1 : cur - 1;
+    path.push_back(cur);
+  }
+  // Descend along dst's ancestor chain.
+  if (depth_of(dst) > l) {
+    std::vector<Vertex> chain;  // dst up to (but excluding) depth l
+    Vertex w = dst;
+    while (depth_of(w) > l) {
+      chain.push_back(w);
+      w = (w - 1) / 2;
+    }
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      path.push_back(chain[i]);
+    }
+  }
+  return path;
+}
+
+}  // namespace netemu

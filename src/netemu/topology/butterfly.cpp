@@ -1,0 +1,57 @@
+// Butterfly and wrapped butterfly generators.
+// Vertex (level l, row r) has index l * 2^d + r.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_butterfly(unsigned d) {
+  assert(d >= 1);
+  const std::uint64_t rows = ipow(2, d);
+  const std::uint64_t n = (d + 1) * rows;
+  MultigraphBuilder b(n);
+  for (unsigned l = 0; l < d; ++l) {
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const auto u = static_cast<Vertex>(l * rows + r);
+      b.add_edge(u, static_cast<Vertex>((l + 1) * rows + r));
+      b.add_edge(u, static_cast<Vertex>((l + 1) * rows + (r ^ (1ULL << l))));
+    }
+  }
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kButterfly;
+  m.name = "Butterfly(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+Machine make_wrapped_butterfly(unsigned d) {
+  assert(d >= 2);
+  const std::uint64_t rows = ipow(2, d);
+  const std::uint64_t n = d * rows;
+  MultigraphBuilder b(n);
+  for (unsigned l = 0; l < d; ++l) {
+    const unsigned nl = (l + 1) % d;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const auto u = static_cast<Vertex>(l * rows + r);
+      const auto straight = static_cast<Vertex>(nl * rows + r);
+      const auto cross =
+          static_cast<Vertex>(nl * rows + (r ^ (1ULL << l)));
+      b.add_edge(u, straight);
+      b.add_edge(u, cross);
+    }
+  }
+  Machine m;
+  // d=2 lays each wrap edge from both endpoints; collapse to simple form.
+  m.graph = std::move(b).build().simple();
+  m.family = Family::kWrappedButterfly;
+  m.name = "WrappedButterfly(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+}  // namespace netemu

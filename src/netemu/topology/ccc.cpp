@@ -1,0 +1,42 @@
+// Cube-connected cycles: vertex (word w, position p) with index w*d + p.
+// Cycle edges run around each word's d positions; the cube edge at
+// position p flips bit p of the word.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_ccc(unsigned d) {
+  assert(d >= 2);
+  const std::uint64_t words = ipow(2, d);
+  const std::uint64_t n = words * d;
+  MultigraphBuilder b(n);
+  for (std::uint64_t w = 0; w < words; ++w) {
+    for (unsigned p = 0; p < d; ++p) {
+      const auto u = static_cast<Vertex>(w * d + p);
+      // Cycle edge to position p+1 (for d == 2 the "cycle" is one edge).
+      const unsigned np = (p + 1) % d;
+      if (np != p) {
+        b.add_edge(u, static_cast<Vertex>(w * d + np));
+      }
+      // Cube edge.
+      const std::uint64_t w2 = w ^ (1ULL << p);
+      if (w2 > w) {
+        b.add_edge(u, static_cast<Vertex>(w2 * d + p));
+      }
+    }
+  }
+  Machine m;
+  // d == 2 lays each cycle edge twice (p=0->1 and p=1->0); simplify.
+  m.graph = std::move(b).build().simple();
+  m.family = Family::kCCC;
+  m.name = "CCC(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+}  // namespace netemu

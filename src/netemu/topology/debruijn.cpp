@@ -1,0 +1,32 @@
+// de Bruijn graph on 2^d vertices: u adjacent to its left shifts 2u mod n
+// and 2u+1 mod n.  Fixed points (0 and n-1) lose their self-loop, and the
+// occasional coincidence of shift and unshift edges is collapsed, so the
+// graph is simple with maximum degree 4.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_debruijn(unsigned d) {
+  assert(d >= 2);
+  const std::uint64_t n = ipow(2, d);
+  MultigraphBuilder b(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t bit = 0; bit <= 1; ++bit) {
+      const std::uint64_t v = (2 * u + bit) % n;
+      if (u != v) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  Machine m;
+  m.graph = std::move(b).build().simple();
+  m.family = Family::kDeBruijn;
+  m.name = "DeBruijn(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+}  // namespace netemu

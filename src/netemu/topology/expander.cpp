@@ -1,0 +1,42 @@
+// Random regular expander: the union of `degree` uniformly random perfect
+// matchings on an even number of vertices.  A random regular graph is an
+// expander with overwhelming probability; we retry until connected so the
+// guarantee is unconditional for the instance handed out.
+
+#include <cassert>
+#include <numeric>
+#include <string>
+
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+
+Machine make_expander(std::size_t n, unsigned degree, Prng& rng) {
+  assert(n >= 4 && n % 2 == 0 && degree >= 3);
+  Multigraph graph;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    MultigraphBuilder b(n);
+    std::vector<Vertex> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (unsigned matching = 0; matching < degree; ++matching) {
+      shuffle(order, rng);
+      for (std::size_t i = 0; i + 1 < n; i += 2) {
+        b.add_edge(order[i], order[i + 1]);
+      }
+    }
+    graph = std::move(b).build().simple();
+    if (is_connected(graph)) break;
+  }
+  assert(is_connected(graph) && "random regular graph failed to connect");
+
+  Machine m;
+  m.graph = std::move(graph);
+  m.family = Family::kExpander;
+  m.name = "Expander(" + std::to_string(n) + ",d=" + std::to_string(degree) +
+           ")";
+  m.shape = {static_cast<std::uint32_t>(n), degree};
+  return m;
+}
+
+}  // namespace netemu

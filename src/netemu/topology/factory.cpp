@@ -1,0 +1,141 @@
+#include "netemu/topology/factory.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+namespace {
+
+/// Smallest height h with tree size 2^(h+1)-1 nearest to target.
+unsigned nearest_tree_height(std::size_t target) {
+  unsigned best = 1;
+  double best_err = 1e300;
+  for (unsigned h = 1; h <= 26; ++h) {
+    const double size = static_cast<double>(ipow(2, h + 1) - 1);
+    const double err = std::abs(std::log2(size / static_cast<double>(target)));
+    if (err < best_err) {
+      best_err = err;
+      best = h;
+    }
+  }
+  return best;
+}
+
+/// d minimizing |log2(count(d) / target)| over d in [lo, 26].
+template <typename CountFn>
+unsigned nearest_param(std::size_t target, unsigned lo, CountFn count) {
+  unsigned best = lo;
+  double best_err = 1e300;
+  for (unsigned d = lo; d <= 26; ++d) {
+    const double size = static_cast<double>(count(d));
+    if (size <= 0) continue;
+    const double err = std::abs(std::log2(size / static_cast<double>(target)));
+    if (err < best_err) {
+      best_err = err;
+      best = d;
+    }
+    if (size > 4.0 * static_cast<double>(target)) break;
+  }
+  return best;
+}
+
+/// Nearest power-of-two side for a family whose total is ~factor * side^k.
+std::uint32_t nearest_pow2_side(std::size_t target, unsigned k,
+                                double factor) {
+  const double ideal =
+      std::pow(static_cast<double>(target) / factor, 1.0 / k);
+  const double lg = std::max(1.0, std::round(std::log2(ideal)));
+  return static_cast<std::uint32_t>(ipow(2, static_cast<unsigned>(lg)));
+}
+
+}  // namespace
+
+Machine make_machine(Family family, std::size_t target_n, unsigned k,
+                     Prng& rng) {
+  assert(target_n >= 2);
+  switch (family) {
+    case Family::kLinearArray:
+      return make_linear_array(target_n);
+    case Family::kRing:
+      return make_ring(std::max<std::size_t>(3, target_n));
+    case Family::kGlobalBus:
+      return make_global_bus(target_n);
+    case Family::kTree:
+      return make_tree(nearest_tree_height(target_n));
+    case Family::kFatTree:
+      return make_fat_tree(nearest_tree_height(target_n));
+    case Family::kWeakPPN:
+      return make_weak_ppn(nearest_tree_height(target_n));
+    case Family::kXTree:
+      return make_x_tree(nearest_tree_height(target_n));
+    case Family::kMesh: {
+      const auto side = static_cast<std::uint32_t>(std::max(
+          2.0, std::round(std::pow(static_cast<double>(target_n), 1.0 / k))));
+      return make_mesh(std::vector<std::uint32_t>(k, side));
+    }
+    case Family::kTorus: {
+      const auto side = static_cast<std::uint32_t>(std::max(
+          3.0, std::round(std::pow(static_cast<double>(target_n), 1.0 / k))));
+      return make_torus(std::vector<std::uint32_t>(k, side));
+    }
+    case Family::kXGrid: {
+      const auto side = static_cast<std::uint32_t>(std::max(
+          2.0, std::round(std::pow(static_cast<double>(target_n), 1.0 / k))));
+      return make_x_grid(std::vector<std::uint32_t>(k, side));
+    }
+    case Family::kMeshOfTrees:
+      // total = side^k + k * side^(k-1) * (side-1) ≈ (k+1) side^k
+      return make_mesh_of_trees(
+          k, nearest_pow2_side(target_n, k, static_cast<double>(k) + 1.0));
+    case Family::kMultigrid:
+      // total ≈ side^k / (1 - 2^-k)
+      return make_multigrid(
+          k, nearest_pow2_side(target_n, k,
+                               1.0 / (1.0 - std::pow(2.0, -double(k)))));
+    case Family::kPyramid:
+      return make_pyramid(
+          k, nearest_pow2_side(target_n, k,
+                               1.0 / (1.0 - std::pow(2.0, -double(k)))));
+    case Family::kButterfly:
+      return make_butterfly(nearest_param(
+          target_n, 1, [](unsigned d) { return (d + 1) * ipow(2, d); }));
+    case Family::kWrappedButterfly:
+      return make_wrapped_butterfly(nearest_param(
+          target_n, 2, [](unsigned d) { return d * ipow(2, d); }));
+    case Family::kDeBruijn:
+      return make_debruijn(
+          nearest_param(target_n, 2, [](unsigned d) { return ipow(2, d); }));
+    case Family::kShuffleExchange:
+      return make_shuffle_exchange(
+          nearest_param(target_n, 2, [](unsigned d) { return ipow(2, d); }));
+    case Family::kCCC:
+      return make_ccc(nearest_param(
+          target_n, 2, [](unsigned d) { return d * ipow(2, d); }));
+    case Family::kHypercube:
+      return make_hypercube(
+          nearest_param(target_n, 1, [](unsigned d) { return ipow(2, d); }));
+    case Family::kMultibutterfly:
+      return make_multibutterfly(
+          nearest_param(target_n, 1,
+                        [](unsigned d) { return (d + 1) * ipow(2, d); }),
+          rng);
+    case Family::kExpander:
+      return make_expander((target_n + 1) & ~std::size_t{1},
+                           /*degree=*/4, rng);
+  }
+  assert(false && "unknown family");
+  std::abort();
+}
+
+std::optional<Family> family_from_name(const std::string& name) {
+  for (Family f : all_families()) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace netemu

@@ -1,0 +1,22 @@
+#pragma once
+// Size-targeted machine construction: every family has quantized legal
+// sizes (powers of two, heap-tree sizes, d·2^d, ...), so experiments ask for
+// "a Butterfly of about 4096 vertices" and get the nearest legal instance.
+
+#include <optional>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+
+/// Build the machine of `family` (dimension k where applicable) whose vertex
+/// count is as close as possible to target_n.  rng is used only by the
+/// randomized families (Multibutterfly, Expander).
+Machine make_machine(Family family, std::size_t target_n, unsigned k,
+                     Prng& rng);
+
+/// Parse a family name as printed by family_name() (case-sensitive).
+std::optional<Family> family_from_name(const std::string& name);
+
+}  // namespace netemu

@@ -1,0 +1,100 @@
+#pragma once
+// Topology generators — one function per machine family of the paper.
+// Every generator documents its vertex indexing scheme because the routers
+// and the tests depend on it.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/topology/machine.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+/// Path 0-1-...-(n-1).
+Machine make_linear_array(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0.  n >= 3.
+Machine make_ring(std::size_t n);
+
+/// n processors (vertices 0..n-1) on a shared bus modeled as a hub vertex n
+/// with forwarding capacity 1 (one message occupies the bus per tick).
+Machine make_global_bus(std::size_t n);
+
+/// Complete binary tree on n = 2^(h+1)-1 vertices, heap indexed:
+/// children of i are 2i+1 and 2i+2.
+Machine make_tree(unsigned height);
+
+/// Fat tree (extension; Leiserson-style capacity scaling): the complete
+/// binary tree with the edge into depth-d carrying 2^(h-d) parallel wires —
+/// every level has the full leaf bandwidth, so beta = Θ(n).
+Machine make_fat_tree(unsigned height);
+
+/// Weak parallel prefix network: complete binary tree of switches over
+/// n = 2^h leaf processors.  Vertices: leaves are the LAST n heap indices;
+/// only leaves are processors.  All nodes forward at most one message/tick.
+Machine make_weak_ppn(unsigned height);
+
+/// X-tree: complete binary tree (heap indexed) plus edges joining
+/// consecutive vertices at each depth.
+Machine make_x_tree(unsigned height);
+
+/// k-dimensional mesh with given side lengths, row-major indexing
+/// (last side varies fastest).
+Machine make_mesh(const std::vector<std::uint32_t>& sides);
+
+/// Torus: mesh plus wraparound along each axis (skipped for sides <= 2,
+/// where wrap would duplicate an existing edge).
+Machine make_torus(const std::vector<std::uint32_t>& sides);
+
+/// X-grid: mesh plus both diagonals of every axis-aligned 2-face.
+Machine make_x_grid(const std::vector<std::uint32_t>& sides);
+
+/// k-dimensional mesh of trees with side s (power of two): the s^k base
+/// cells (indices 0..s^k-1, row-major) carry NO mesh edges; along every
+/// axis-aligned line a complete binary tree of s-1 new internal vertices is
+/// erected over the line's s cells.  Processors = base cells.
+Machine make_mesh_of_trees(unsigned k, std::uint32_t side);
+
+/// k-dimensional multigrid with base side s = 2^p: a k-dim mesh at every
+/// level l (side s/2^l), and each coarse vertex joined to the fine vertex
+/// at double its coordinates ("corner" connection).
+Machine make_multigrid(unsigned k, std::uint32_t side);
+
+/// k-dimensional pyramid with base side s = 2^p: meshes at every level and
+/// every fine vertex joined to its coarse parent floor(coord/2)
+/// (a 2^k-ary tree interleaved with the meshes).
+Machine make_pyramid(unsigned k, std::uint32_t side);
+
+/// Butterfly with d dimensions: (d+1)*2^d vertices; vertex (level l, row r)
+/// has index l*2^d + r; edges (l,r)-(l+1,r) and (l,r)-(l+1, r xor 2^l).
+Machine make_butterfly(unsigned d);
+
+/// Wrapped butterfly: d*2^d vertices, level d identified with level 0.
+Machine make_wrapped_butterfly(unsigned d);
+
+/// de Bruijn graph on n = 2^d vertices: u adjacent to 2u mod n and
+/// 2u+1 mod n (self-loops dropped, parallel edges collapsed).
+Machine make_debruijn(unsigned d);
+
+/// Shuffle-exchange on n = 2^d vertices: shuffle edge u - rotl(u), exchange
+/// edge u - (u xor 1) (self-loops dropped).
+Machine make_shuffle_exchange(unsigned d);
+
+/// Cube-connected cycles: d*2^d vertices; vertex (word w, position p) has
+/// index w*d + p; cycle edges within a word, cube edge flips bit p.  d >= 2.
+Machine make_ccc(unsigned d);
+
+/// Weak hypercube on 2^d vertices (forwarding capacity 1 per node).
+Machine make_hypercube(unsigned d);
+
+/// Multibutterfly: butterfly levels where, in addition to the deterministic
+/// butterfly edges, every vertex gains `extra` random edges into the correct
+/// half-block of the next level (randomized splitters).
+Machine make_multibutterfly(unsigned d, Prng& rng, unsigned extra = 1);
+
+/// Random regular expander: union of `degree` random perfect matchings on n
+/// vertices (n even), retried until connected.
+Machine make_expander(std::size_t n, unsigned degree, Prng& rng);
+
+}  // namespace netemu

@@ -1,0 +1,32 @@
+// Weak hypercube on 2^d vertices.  "Weak" (Kruskal–Snir sense) means each
+// node drives only one of its d incident wires per step, which is what makes
+// β(H) = Θ(n / lg n) rather than Θ(n); modeled via forward_cap = 1.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_hypercube(unsigned d) {
+  assert(d >= 1);
+  const std::uint64_t n = ipow(2, d);
+  MultigraphBuilder b(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (unsigned p = 0; p < d; ++p) {
+      const std::uint64_t v = u ^ (1ULL << p);
+      if (v > u) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kHypercube;
+  m.name = "Hypercube(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  m.forward_cap.assign(n, 1);
+  return m;
+}
+
+}  // namespace netemu

@@ -1,0 +1,53 @@
+// LinearArray, Ring, GlobalBus generators.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+
+Machine make_linear_array(std::size_t n) {
+  assert(n >= 1);
+  MultigraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kLinearArray;
+  m.name = "LinearArray(" + std::to_string(n) + ")";
+  m.shape = {static_cast<std::uint32_t>(n)};
+  return m;
+}
+
+Machine make_ring(std::size_t n) {
+  assert(n >= 3);
+  MultigraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(static_cast<Vertex>(n - 1), 0);
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kRing;
+  m.name = "Ring(" + std::to_string(n) + ")";
+  m.shape = {static_cast<std::uint32_t>(n)};
+  return m;
+}
+
+Machine make_global_bus(std::size_t n) {
+  assert(n >= 1);
+  const auto hub = static_cast<Vertex>(n);
+  MultigraphBuilder b(n + 1);
+  for (Vertex v = 0; v < n; ++v) b.add_edge(v, hub);
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kGlobalBus;
+  m.name = "GlobalBus(" + std::to_string(n) + ")";
+  m.shape = {static_cast<std::uint32_t>(n)};
+  m.processors.resize(n);
+  for (Vertex v = 0; v < n; ++v) m.processors[v] = v;
+  // The hub serializes: one message traverses the bus per tick.
+  m.forward_cap.assign(n + 1, kUnlimitedForward);
+  m.forward_cap[hub] = 1;
+  return m;
+}
+
+}  // namespace netemu

@@ -1,0 +1,63 @@
+#include "netemu/topology/machine.hpp"
+
+namespace netemu {
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kLinearArray: return "LinearArray";
+    case Family::kRing: return "Ring";
+    case Family::kGlobalBus: return "GlobalBus";
+    case Family::kTree: return "Tree";
+    case Family::kFatTree: return "FatTree";
+    case Family::kWeakPPN: return "WeakPPN";
+    case Family::kXTree: return "XTree";
+    case Family::kMesh: return "Mesh";
+    case Family::kTorus: return "Torus";
+    case Family::kXGrid: return "XGrid";
+    case Family::kMeshOfTrees: return "MeshOfTrees";
+    case Family::kMultigrid: return "Multigrid";
+    case Family::kPyramid: return "Pyramid";
+    case Family::kButterfly: return "Butterfly";
+    case Family::kWrappedButterfly: return "WrappedButterfly";
+    case Family::kDeBruijn: return "DeBruijn";
+    case Family::kShuffleExchange: return "ShuffleExchange";
+    case Family::kCCC: return "CCC";
+    case Family::kHypercube: return "Hypercube";
+    case Family::kMultibutterfly: return "Multibutterfly";
+    case Family::kExpander: return "Expander";
+  }
+  return "?";
+}
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> families = {
+      Family::kLinearArray,    Family::kRing,
+      Family::kGlobalBus,      Family::kTree,
+      Family::kFatTree,
+      Family::kWeakPPN,        Family::kXTree,
+      Family::kMesh,           Family::kTorus,
+      Family::kXGrid,          Family::kMeshOfTrees,
+      Family::kMultigrid,      Family::kPyramid,
+      Family::kButterfly,      Family::kWrappedButterfly,
+      Family::kDeBruijn,       Family::kShuffleExchange,
+      Family::kCCC,            Family::kHypercube,
+      Family::kMultibutterfly, Family::kExpander,
+  };
+  return families;
+}
+
+bool family_is_dimensional(Family f) {
+  switch (f) {
+    case Family::kMesh:
+    case Family::kTorus:
+    case Family::kXGrid:
+    case Family::kMeshOfTrees:
+    case Family::kMultigrid:
+    case Family::kPyramid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace netemu

@@ -1,0 +1,83 @@
+#pragma once
+// Machine: a fixed-connection network machine — a network multigraph plus
+// the metadata the rest of the system needs (which family it is, its shape
+// parameters for specialized routers, which vertices are processors, and
+// per-node forwarding capacity for "weak" models).
+//
+// The paper's machine families (Table 4 and Theorems 2-5) are all here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+
+namespace netemu {
+
+enum class Family {
+  kLinearArray,
+  kRing,
+  kGlobalBus,
+  kTree,          // complete binary tree
+  kFatTree,       // binary tree with capacity-doubling wires (extension)
+  kWeakPPN,       // weak parallel prefix network (tree of switches, leaf PEs)
+  kXTree,         // complete binary tree + same-level sibling edges
+  kMesh,          // k-dimensional mesh
+  kTorus,         // k-dimensional torus
+  kXGrid,         // mesh + per-2-face diagonals
+  kMeshOfTrees,   // k-dimensional mesh of trees
+  kMultigrid,     // k-dimensional multigrid (corner-connected levels)
+  kPyramid,       // k-dimensional pyramid (2^k-ary tree of meshes)
+  kButterfly,
+  kWrappedButterfly,
+  kDeBruijn,
+  kShuffleExchange,
+  kCCC,           // cube-connected cycles
+  kHypercube,     // weak hypercube (one wire per node per step)
+  kMultibutterfly,
+  kExpander,      // random regular graph
+};
+
+/// Printable family name ("Mesh", "DeBruijn", ...).
+const char* family_name(Family f);
+
+/// All families, in Table-4 order, for sweeps.
+const std::vector<Family>& all_families();
+
+/// True for the families whose natural parameter is a dimension k
+/// (Mesh, Torus, XGrid, MeshOfTrees, Multigrid, Pyramid).
+bool family_is_dimensional(Family f);
+
+/// Sentinel for "no per-node forwarding limit".
+inline constexpr std::uint32_t kUnlimitedForward =
+    static_cast<std::uint32_t>(-1);
+
+struct Machine {
+  Multigraph graph;
+  Family family = Family::kLinearArray;
+  unsigned dims = 1;            ///< k for dimensional families, else 1
+  std::string name;             ///< e.g. "Mesh2(32x32)"
+
+  /// Family-specific shape: mesh/torus/xgrid = side lengths; butterfly/CCC/
+  /// hypercube/deBruijn/SE = {d}; mesh-of-trees/multigrid/pyramid = {side}.
+  std::vector<std::uint32_t> shape;
+
+  /// Vertices that act as processors (traffic endpoints).  Empty = all.
+  /// Non-processor vertices (bus hub, PPN switches, tree-internal nodes of
+  /// the mesh of trees) still forward messages.
+  std::vector<Vertex> processors;
+
+  /// Per-node forwarding capacity (messages per tick); empty = unlimited.
+  /// Models "weak" machines: a weak node drives one wire per step.
+  std::vector<std::uint32_t> forward_cap;
+
+  std::size_t num_vertices() const { return graph.num_vertices(); }
+  std::size_t num_processors() const {
+    return processors.empty() ? graph.num_vertices() : processors.size();
+  }
+  Vertex processor(std::size_t i) const {
+    return processors.empty() ? static_cast<Vertex>(i) : processors[i];
+  }
+};
+
+}  // namespace netemu

@@ -1,0 +1,110 @@
+// Mesh, Torus, XGrid generators.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::string shape_string(const std::vector<std::uint32_t>& sides) {
+  std::string s;
+  for (std::size_t d = 0; d < sides.size(); ++d) {
+    if (d) s += "x";
+    s += std::to_string(sides[d]);
+  }
+  return s;
+}
+
+Machine finish_grid(MultigraphBuilder&& b, Family family,
+                    const std::vector<std::uint32_t>& sides,
+                    const char* label) {
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = family;
+  m.dims = static_cast<unsigned>(sides.size());
+  m.name = std::string(label) + std::to_string(sides.size()) + "(" +
+           shape_string(sides) + ")";
+  m.shape = sides;
+  return m;
+}
+
+}  // namespace
+
+Machine make_mesh(const std::vector<std::uint32_t>& sides) {
+  assert(!sides.empty());
+  const std::uint64_t n = detail::grid_size(sides);
+  MultigraphBuilder b(n);
+  detail::grid_for_each(sides, [&](const std::vector<std::uint32_t>& coord) {
+    const auto u = static_cast<Vertex>(detail::grid_index(sides, coord));
+    auto next = coord;
+    for (std::size_t d = 0; d < sides.size(); ++d) {
+      if (coord[d] + 1 < sides[d]) {
+        ++next[d];
+        b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+        --next[d];
+      }
+    }
+  });
+  return finish_grid(std::move(b), Family::kMesh, sides, "Mesh");
+}
+
+Machine make_torus(const std::vector<std::uint32_t>& sides) {
+  assert(!sides.empty());
+  const std::uint64_t n = detail::grid_size(sides);
+  MultigraphBuilder b(n);
+  detail::grid_for_each(sides, [&](const std::vector<std::uint32_t>& coord) {
+    const auto u = static_cast<Vertex>(detail::grid_index(sides, coord));
+    auto next = coord;
+    for (std::size_t d = 0; d < sides.size(); ++d) {
+      if (coord[d] + 1 < sides[d]) {
+        ++next[d];
+        b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+        next[d] = coord[d];
+      } else if (sides[d] > 2) {
+        // Wraparound; for side <= 2 it would duplicate the mesh edge.
+        next[d] = 0;
+        b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+        next[d] = coord[d];
+      }
+    }
+  });
+  return finish_grid(std::move(b), Family::kTorus, sides, "Torus");
+}
+
+Machine make_x_grid(const std::vector<std::uint32_t>& sides) {
+  assert(!sides.empty());
+  const std::uint64_t n = detail::grid_size(sides);
+  MultigraphBuilder b(n);
+  detail::grid_for_each(sides, [&](const std::vector<std::uint32_t>& coord) {
+    const auto u = static_cast<Vertex>(detail::grid_index(sides, coord));
+    auto next = coord;
+    for (std::size_t a = 0; a < sides.size(); ++a) {
+      if (coord[a] + 1 >= sides[a]) continue;
+      ++next[a];
+      // Axis edge.
+      b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+      // Diagonals of the 2-face spanned by axes (a, c); visiting only c > a
+      // lays each face's two diagonals exactly once.
+      for (std::size_t c = a + 1; c < sides.size(); ++c) {
+        if (coord[c] + 1 < sides[c]) {
+          ++next[c];
+          b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+          --next[c];
+        }
+        if (coord[c] > 0) {
+          --next[c];
+          b.add_edge(u, static_cast<Vertex>(detail::grid_index(sides, next)));
+          ++next[c];
+        }
+      }
+      --next[a];
+    }
+  });
+  return finish_grid(std::move(b), Family::kXGrid, sides, "XGrid");
+}
+
+}  // namespace netemu

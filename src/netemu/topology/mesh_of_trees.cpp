@@ -1,0 +1,75 @@
+// k-dimensional mesh of trees.
+//
+// Base cells are the s^k lattice points (row-major, indices 0..s^k-1) and
+// carry no edges of their own.  Along every axis-aligned line, a complete
+// binary tree with s-1 fresh internal vertices is erected over the line's s
+// cells.  Only base cells are processors; internal vertices are switches.
+
+#include <cassert>
+#include <functional>
+#include <string>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_mesh_of_trees(unsigned k, std::uint32_t side) {
+  assert(k >= 1 && side >= 2 && is_pow2(side));
+  const std::vector<std::uint32_t> sides(k, side);
+  const std::uint64_t base = detail::grid_size(sides);
+  const std::uint64_t lines_per_dim = base / side;
+  const std::uint64_t internal_per_line = side - 1;
+  const std::uint64_t total =
+      base + static_cast<std::uint64_t>(k) * lines_per_dim * internal_per_line;
+
+  MultigraphBuilder b(total);
+  Vertex next_internal = static_cast<Vertex>(base);
+
+  // Recursively build a complete binary tree over leaves[lo, hi).
+  std::function<Vertex(const std::vector<Vertex>&, std::size_t, std::size_t)>
+      build_tree = [&](const std::vector<Vertex>& leaves, std::size_t lo,
+                       std::size_t hi) -> Vertex {
+    if (hi - lo == 1) return leaves[lo];
+    const Vertex root = next_internal++;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    b.add_edge(root, build_tree(leaves, lo, mid));
+    b.add_edge(root, build_tree(leaves, mid, hi));
+    return root;
+  };
+
+  // Enumerate lines along dimension d: iterate the (k-1)-dim complement
+  // grid and sweep coordinate d.
+  for (unsigned d = 0; d < k; ++d) {
+    std::vector<std::uint32_t> complement(sides);
+    complement[d] = 1;
+    detail::grid_for_each(
+        complement, [&](const std::vector<std::uint32_t>& fixed) {
+          std::vector<Vertex> leaves(side);
+          auto coord = fixed;
+          for (std::uint32_t i = 0; i < side; ++i) {
+            coord[d] = i;
+            leaves[i] =
+                static_cast<Vertex>(detail::grid_index(sides, coord));
+          }
+          build_tree(leaves, 0, side);
+        });
+  }
+  assert(next_internal == total);
+
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kMeshOfTrees;
+  m.dims = k;
+  m.name = "MeshOfTrees" + std::to_string(k) + "(s=" + std::to_string(side) +
+           ")";
+  m.shape = {side};
+  m.processors.reserve(base);
+  for (std::uint64_t i = 0; i < base; ++i) {
+    m.processors.push_back(static_cast<Vertex>(i));
+  }
+  return m;
+}
+
+}  // namespace netemu

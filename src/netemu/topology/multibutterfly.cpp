@@ -1,0 +1,52 @@
+// Multibutterfly: a butterfly whose level-to-level wiring is augmented with
+// randomized splitters.  At level l the rows split (on bit l) into an "up"
+// and a "down" half toward level l+1; in a true multibutterfly each half is
+// reached through an expander-like bipartite splitter.  We realize the
+// splitter as the deterministic butterfly edge plus `extra` uniformly random
+// edges into the SAME half, which preserves the butterfly's routing
+// semantics (destination bits still steer) while giving each splitter the
+// redundancy that defines the multibutterfly.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_multibutterfly(unsigned d, Prng& rng, unsigned extra) {
+  assert(d >= 1);
+  const std::uint64_t rows = ipow(2, d);
+  const std::uint64_t n = (d + 1) * rows;
+  MultigraphBuilder b(n);
+  for (unsigned l = 0; l < d; ++l) {
+    const std::uint64_t bit = 1ULL << l;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const auto u = static_cast<Vertex>(l * rows + r);
+      // Deterministic butterfly edges: straight (same half on bit l) and
+      // cross (other half).
+      b.add_edge(u, static_cast<Vertex>((l + 1) * rows + r));
+      b.add_edge(u, static_cast<Vertex>((l + 1) * rows + (r ^ bit)));
+      // Random splitter edges: `extra` into each half.  A target in the
+      // half of row r2 has r2 == r on bit l (same half) or differs (other
+      // half); all other bits free.
+      for (unsigned e = 0; e < extra; ++e) {
+        for (int half = 0; half <= 1; ++half) {
+          std::uint64_t r2 = rng.below(rows);
+          // Force bit l to select the half.
+          r2 = half == 0 ? (r2 & ~bit) | (r & bit) : (r2 & ~bit) | (~r & bit);
+          b.add_edge(u, static_cast<Vertex>((l + 1) * rows + r2));
+        }
+      }
+    }
+  }
+  Machine m;
+  m.graph = std::move(b).build().simple();
+  m.family = Family::kMultibutterfly;
+  m.name = "Multibutterfly(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+}  // namespace netemu

@@ -1,0 +1,81 @@
+// k-dimensional multigrid: a hierarchy of k-dim meshes of halving side,
+// each coarse vertex joined to the fine vertex at double its coordinates.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+namespace {
+
+/// Add the mesh edges of one level whose vertices start at `offset`.
+void add_level_mesh(MultigraphBuilder& b, std::uint64_t offset,
+                    const std::vector<std::uint32_t>& sides) {
+  detail::grid_for_each(sides, [&](const std::vector<std::uint32_t>& coord) {
+    const auto u =
+        static_cast<Vertex>(offset + detail::grid_index(sides, coord));
+    auto next = coord;
+    for (std::size_t d = 0; d < sides.size(); ++d) {
+      if (coord[d] + 1 < sides[d]) {
+        ++next[d];
+        b.add_edge(u, static_cast<Vertex>(
+                          offset + detail::grid_index(sides, next)));
+        --next[d];
+      }
+    }
+  });
+}
+
+std::uint64_t level_total(unsigned k, std::uint32_t side) {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = side; s >= 1; s /= 2) {
+    total += ipow(s, k);
+    if (s == 1) break;
+  }
+  return total;
+}
+
+}  // namespace
+
+Machine make_multigrid(unsigned k, std::uint32_t side) {
+  assert(k >= 1 && side >= 2 && is_pow2(side));
+  MultigraphBuilder b(level_total(k, side));
+
+  std::uint64_t offset = 0;
+  for (std::uint32_t s = side; s >= 1; s /= 2) {
+    const std::vector<std::uint32_t> fine(k, s);
+    add_level_mesh(b, offset, fine);
+    if (s > 1) {
+      // Coarse vertex at c' links to the fine vertex at 2c'.
+      const std::uint64_t fine_count = detail::grid_size(fine);
+      const std::vector<std::uint32_t> coarse(k, s / 2);
+      detail::grid_for_each(
+          coarse, [&](const std::vector<std::uint32_t>& cc) {
+            std::vector<std::uint32_t> fc(cc);
+            for (auto& x : fc) x *= 2;
+            b.add_edge(
+                static_cast<Vertex>(offset + detail::grid_index(fine, fc)),
+                static_cast<Vertex>(offset + fine_count +
+                                    detail::grid_index(coarse, cc)));
+          });
+      offset += fine_count;
+    } else {
+      break;
+    }
+  }
+
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kMultigrid;
+  m.dims = k;
+  m.name =
+      "Multigrid" + std::to_string(k) + "(s=" + std::to_string(side) + ")";
+  m.shape = {side};
+  return m;
+}
+
+}  // namespace netemu

@@ -1,0 +1,61 @@
+// k-dimensional pyramid: meshes of halving side, every fine vertex joined
+// to its coarse parent at floor(coord/2) — a 2^k-ary tree through the levels.
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/detail/grid.hpp"
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_pyramid(unsigned k, std::uint32_t side) {
+  assert(k >= 1 && side >= 2 && is_pow2(side));
+  std::uint64_t total = 0;
+  for (std::uint32_t s = side; s >= 1; s /= 2) {
+    total += ipow(s, k);
+    if (s == 1) break;
+  }
+  MultigraphBuilder b(total);
+
+  std::uint64_t offset = 0;
+  for (std::uint32_t s = side; s >= 1; s /= 2) {
+    const std::vector<std::uint32_t> fine(k, s);
+    const std::uint64_t fine_count = detail::grid_size(fine);
+    // Level mesh.
+    detail::grid_for_each(fine, [&](const std::vector<std::uint32_t>& coord) {
+      const auto u =
+          static_cast<Vertex>(offset + detail::grid_index(fine, coord));
+      auto next = coord;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (coord[d] + 1 < s) {
+          ++next[d];
+          b.add_edge(u, static_cast<Vertex>(offset +
+                                            detail::grid_index(fine, next)));
+          --next[d];
+        }
+      }
+      // Parent edge into the next (coarser) level.
+      if (s > 1) {
+        std::vector<std::uint32_t> parent(coord);
+        for (auto& x : parent) x /= 2;
+        const std::vector<std::uint32_t> coarse(k, s / 2);
+        b.add_edge(u, static_cast<Vertex>(offset + fine_count +
+                                          detail::grid_index(coarse, parent)));
+      }
+    });
+    if (s == 1) break;
+    offset += fine_count;
+  }
+
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kPyramid;
+  m.dims = k;
+  m.name = "Pyramid" + std::to_string(k) + "(s=" + std::to_string(side) + ")";
+  m.shape = {side};
+  return m;
+}
+
+}  // namespace netemu

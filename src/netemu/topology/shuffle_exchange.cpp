@@ -1,0 +1,29 @@
+// Shuffle-exchange graph on 2^d vertices: shuffle edges u - rotl(u) (cyclic
+// left rotation of the d-bit word) and exchange edges u - (u xor 1).
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Machine make_shuffle_exchange(unsigned d) {
+  assert(d >= 2);
+  const std::uint64_t n = ipow(2, d);
+  MultigraphBuilder b(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    const std::uint64_t s = rotl_bits(u, d);
+    if (s != u) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(s));
+    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(u ^ 1));
+  }
+  Machine m;
+  m.graph = std::move(b).build().simple();
+  m.family = Family::kShuffleExchange;
+  m.name = "ShuffleExchange(d=" + std::to_string(d) + ")";
+  m.shape = {d};
+  return m;
+}
+
+}  // namespace netemu

@@ -1,0 +1,87 @@
+// Tree, WeakPPN, XTree generators.  All three use heap indexing:
+// vertex i has children 2i+1 and 2i+2; depth-d vertices occupy
+// indices [2^d - 1, 2^(d+1) - 2].
+
+#include <cassert>
+#include <string>
+
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+namespace {
+
+void add_heap_tree_edges(MultigraphBuilder& b, std::size_t n) {
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+}
+
+}  // namespace
+
+Machine make_tree(unsigned height) {
+  const std::size_t n = ipow(2, height + 1) - 1;
+  MultigraphBuilder b(n);
+  add_heap_tree_edges(b, n);
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kTree;
+  m.name = "Tree(h=" + std::to_string(height) + ")";
+  m.shape = {height};
+  return m;
+}
+
+Machine make_fat_tree(unsigned height) {
+  const std::size_t n = ipow(2, height + 1) - 1;
+  MultigraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    const unsigned depth = ilog2(v + 1u);
+    b.add_edge(v, (v - 1) / 2,
+               static_cast<std::uint32_t>(ipow(2, height - depth + 1)));
+  }
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kFatTree;
+  m.name = "FatTree(h=" + std::to_string(height) + ")";
+  m.shape = {height};
+  return m;
+}
+
+Machine make_weak_ppn(unsigned height) {
+  const std::size_t n = ipow(2, height + 1) - 1;
+  const std::size_t leaves = ipow(2, height);
+  MultigraphBuilder b(n);
+  add_heap_tree_edges(b, n);
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kWeakPPN;
+  m.name = "WeakPPN(h=" + std::to_string(height) + ")";
+  m.shape = {height};
+  // Only the leaves compute; internal vertices are prefix switches.
+  m.processors.reserve(leaves);
+  for (std::size_t i = n - leaves; i < n; ++i) {
+    m.processors.push_back(static_cast<Vertex>(i));
+  }
+  // Weak: every switch drives one wire per step.
+  m.forward_cap.assign(n, 1);
+  return m;
+}
+
+Machine make_x_tree(unsigned height) {
+  const std::size_t n = ipow(2, height + 1) - 1;
+  MultigraphBuilder b(n);
+  add_heap_tree_edges(b, n);
+  // Horizontal edges between consecutive vertices at each depth.
+  for (unsigned d = 1; d <= height; ++d) {
+    const Vertex first = static_cast<Vertex>(ipow(2, d) - 1);
+    const Vertex last = static_cast<Vertex>(ipow(2, d + 1) - 2);
+    for (Vertex v = first; v < last; ++v) b.add_edge(v, v + 1);
+  }
+  Machine m;
+  m.graph = std::move(b).build();
+  m.family = Family::kXTree;
+  m.name = "XTree(h=" + std::to_string(height) + ")";
+  m.shape = {height};
+  return m;
+}
+
+}  // namespace netemu

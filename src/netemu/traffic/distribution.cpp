@@ -1,0 +1,183 @@
+#include "netemu/traffic/distribution.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+const char* traffic_kind_name(TrafficKind k) {
+  switch (k) {
+    case TrafficKind::kSymmetric: return "symmetric";
+    case TrafficKind::kQuasiSymmetric: return "quasi-symmetric";
+    case TrafficKind::kPermutation: return "permutation";
+    case TrafficKind::kBitReversal: return "bit-reversal";
+    case TrafficKind::kTranspose: return "transpose";
+    case TrafficKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Keyed pair hash for quasi-symmetric membership.
+std::uint64_t pair_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xC2B2AE3D27D4EB4FULL);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+TrafficDistribution TrafficDistribution::symmetric(
+    std::vector<Vertex> processors) {
+  assert(processors.size() >= 2);
+  return TrafficDistribution(TrafficKind::kSymmetric, std::move(processors));
+}
+
+TrafficDistribution TrafficDistribution::quasi_symmetric(
+    std::vector<Vertex> processors, double fraction,
+    std::uint64_t subset_seed) {
+  assert(processors.size() >= 2);
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("quasi_symmetric: fraction must be in (0,1]");
+  }
+  TrafficDistribution d(TrafficKind::kQuasiSymmetric, std::move(processors));
+  d.fraction_ = fraction;
+  d.subset_seed_ = subset_seed;
+  return d;
+}
+
+TrafficDistribution TrafficDistribution::permutation(
+    std::vector<Vertex> processors, Prng& rng) {
+  assert(processors.size() >= 2);
+  const std::size_t n = processors.size();
+  TrafficDistribution d(TrafficKind::kPermutation, std::move(processors));
+  // Random derangement-ish permutation: shuffle and rotate fixed points away.
+  d.target_.resize(n);
+  std::iota(d.target_.begin(), d.target_.end(), 0u);
+  shuffle(d.target_, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d.target_[i] == i) {
+      const std::size_t j = (i + 1) % n;
+      std::swap(d.target_[i], d.target_[j]);
+    }
+  }
+  return d;
+}
+
+TrafficDistribution TrafficDistribution::bit_reversal(
+    std::vector<Vertex> processors) {
+  const std::size_t n = processors.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("bit_reversal: processor count must be 2^k");
+  }
+  const unsigned bits = ilog2(n);
+  TrafficDistribution d(TrafficKind::kBitReversal, std::move(processors));
+  d.target_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.target_[i] = static_cast<std::uint32_t>(bit_reverse(i, bits));
+  }
+  return d;
+}
+
+TrafficDistribution TrafficDistribution::transpose(
+    std::vector<Vertex> processors) {
+  const std::size_t n = processors.size();
+  const auto side = static_cast<std::size_t>(std::llround(std::sqrt(n)));
+  if (side * side != n) {
+    throw std::invalid_argument("transpose: processor count must be a square");
+  }
+  TrafficDistribution d(TrafficKind::kTranspose, std::move(processors));
+  d.target_.resize(n);
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      d.target_[r * side + c] = static_cast<std::uint32_t>(c * side + r);
+    }
+  }
+  return d;
+}
+
+TrafficDistribution TrafficDistribution::hotspot(
+    std::vector<Vertex> processors, double hot_fraction, Prng& rng) {
+  assert(processors.size() >= 2);
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    throw std::invalid_argument("hotspot: hot_fraction must be in [0,1]");
+  }
+  const std::size_t n = processors.size();
+  TrafficDistribution d(TrafficKind::kHotspot, std::move(processors));
+  d.hot_fraction_ = hot_fraction;
+  d.hot_index_ = rng.below(n);
+  return d;
+}
+
+bool TrafficDistribution::pair_allowed(std::size_t src_index,
+                                       std::size_t dst_index) const {
+  if (src_index == dst_index) return false;
+  switch (kind_) {
+    case TrafficKind::kSymmetric:
+    case TrafficKind::kHotspot:
+      return true;
+    case TrafficKind::kQuasiSymmetric: {
+      const double u =
+          static_cast<double>(pair_hash(subset_seed_, src_index, dst_index)) /
+          static_cast<double>(UINT64_MAX);
+      return u < fraction_;
+    }
+    case TrafficKind::kPermutation:
+    case TrafficKind::kBitReversal:
+    case TrafficKind::kTranspose:
+      return target_[src_index] == dst_index;
+  }
+  return false;
+}
+
+Message TrafficDistribution::sample(Prng& rng) const {
+  const std::size_t n = processors_.size();
+  switch (kind_) {
+    case TrafficKind::kSymmetric: {
+      const std::size_t s = rng.below(n);
+      std::size_t d = rng.below(n - 1);
+      if (d >= s) ++d;
+      return Message{processors_[s], processors_[d]};
+    }
+    case TrafficKind::kQuasiSymmetric: {
+      // Rejection sample over allowed pairs; expected 1/fraction draws.
+      for (;;) {
+        const std::size_t s = rng.below(n);
+        std::size_t d = rng.below(n - 1);
+        if (d >= s) ++d;
+        if (pair_allowed(s, d)) return Message{processors_[s], processors_[d]};
+      }
+    }
+    case TrafficKind::kPermutation:
+    case TrafficKind::kBitReversal:
+    case TrafficKind::kTranspose: {
+      const std::size_t s = rng.below(n);
+      return Message{processors_[s], processors_[target_[s]]};
+    }
+    case TrafficKind::kHotspot: {
+      const std::size_t s = rng.below(n);
+      if (s != hot_index_ && rng.chance(hot_fraction_)) {
+        return Message{processors_[s], processors_[hot_index_]};
+      }
+      std::size_t d = rng.below(n - 1);
+      if (d >= s) ++d;
+      return Message{processors_[s], processors_[d]};
+    }
+  }
+  return Message{};
+}
+
+std::vector<Message> TrafficDistribution::batch(std::size_t m,
+                                                Prng& rng) const {
+  std::vector<Message> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+}  // namespace netemu

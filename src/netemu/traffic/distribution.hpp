@@ -1,0 +1,98 @@
+#pragma once
+// Traffic distributions π: the relative frequency with which processor pairs
+// exchange messages (Kruskal–Snir [9]).
+//
+// The paper's two central distributions are here — *symmetric* (all ordered
+// pairs equally likely; β(M) is defined against it) and *quasi-symmetric*
+// (Ω(n²) pairs equally likely, the rest disallowed; bottleneck-freeness is
+// defined against these) — plus the classical adversarial patterns
+// (permutation, bit-reversal, transpose, hotspot) used by the ablation
+// benches.
+//
+// Quasi-symmetric supports n up to millions without storing the pair set:
+// membership of (s,d) is decided by a keyed hash threshold, giving a
+// deterministic pseudo-random subset of expected density `fraction`.
+
+#include <cstdint>
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+enum class TrafficKind {
+  kSymmetric,
+  kQuasiSymmetric,
+  kPermutation,
+  kBitReversal,
+  kTranspose,
+  kHotspot,
+};
+
+const char* traffic_kind_name(TrafficKind k);
+
+struct Message {
+  Vertex src = 0;
+  Vertex dst = 0;
+};
+
+class TrafficDistribution {
+ public:
+  /// Uniform over ordered pairs of distinct processors.
+  static TrafficDistribution symmetric(std::vector<Vertex> processors);
+
+  /// Uniform over a pseudo-random subset of ordered pairs with expected
+  /// density `fraction` (must be in (0, 1]); other pairs are disallowed.
+  static TrafficDistribution quasi_symmetric(std::vector<Vertex> processors,
+                                             double fraction,
+                                             std::uint64_t subset_seed);
+
+  /// Fixed random permutation: processor i always sends to perm(i).
+  static TrafficDistribution permutation(std::vector<Vertex> processors,
+                                         Prng& rng);
+
+  /// Processor with index i sends to index bit-reverse(i).
+  /// Requires |processors| to be a power of two.
+  static TrafficDistribution bit_reversal(std::vector<Vertex> processors);
+
+  /// Index (r, c) of the sqrt(n) x sqrt(n) arrangement sends to (c, r).
+  /// Requires |processors| to be a perfect square.
+  static TrafficDistribution transpose(std::vector<Vertex> processors);
+
+  /// With probability hot_fraction the destination is a fixed hot processor,
+  /// otherwise uniform.
+  static TrafficDistribution hotspot(std::vector<Vertex> processors,
+                                     double hot_fraction, Prng& rng);
+
+  TrafficKind kind() const { return kind_; }
+  std::size_t num_processors() const { return processors_.size(); }
+  const std::vector<Vertex>& processors() const { return processors_; }
+
+  /// Draw one message according to the distribution.
+  Message sample(Prng& rng) const;
+
+  /// Draw a batch of m messages.
+  std::vector<Message> batch(std::size_t m, Prng& rng) const;
+
+  /// True iff the ordered pair (by processor index) can occur.
+  bool pair_allowed(std::size_t src_index, std::size_t dst_index) const;
+
+ private:
+  explicit TrafficDistribution(TrafficKind kind,
+                               std::vector<Vertex> processors)
+      : kind_(kind), processors_(std::move(processors)) {}
+
+  TrafficKind kind_;
+  std::vector<Vertex> processors_;
+  // Quasi-symmetric parameters.
+  double fraction_ = 1.0;
+  std::uint64_t subset_seed_ = 0;
+  // Permutation / functional target by processor index.
+  std::vector<std::uint32_t> target_;
+  // Hotspot parameters.
+  double hot_fraction_ = 0.0;
+  std::size_t hot_index_ = 0;
+};
+
+}  // namespace netemu

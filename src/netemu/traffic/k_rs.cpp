@@ -1,0 +1,41 @@
+#include "netemu/traffic/k_rs.hpp"
+
+#include <algorithm>
+
+namespace netemu {
+
+Multigraph make_complete(std::uint32_t r, std::uint32_t s) {
+  MultigraphBuilder b(r);
+  for (Vertex i = 0; i < r; ++i) {
+    for (Vertex j = i + 1; j < r; ++j) {
+      b.add_edge(i, j, s);
+    }
+  }
+  return std::move(b).build();
+}
+
+KrsReport krs_report(const Multigraph& g, std::uint64_t s) {
+  KrsReport rep;
+  rep.max_pair_multiplicity = 0;
+  for (const Edge& e : g.edges()) {
+    rep.max_pair_multiplicity =
+        std::max<std::uint64_t>(rep.max_pair_multiplicity, e.mult);
+  }
+  rep.multiplicity_ok = rep.max_pair_multiplicity <= s;
+  const double r = static_cast<double>(g.num_vertices());
+  if (r > 0 && s > 0) {
+    rep.density = static_cast<double>(g.total_multiplicity()) /
+                  (r * r * static_cast<double>(s));
+  }
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(static_cast<Vertex>(v)) > 0) ++rep.vertices_used;
+  }
+  return rep;
+}
+
+bool in_krs(const Multigraph& g, std::uint64_t s, double lo, double hi) {
+  const KrsReport rep = krs_report(g, s);
+  return rep.multiplicity_ok && rep.density >= lo && rep.density <= hi;
+}
+
+}  // namespace netemu

@@ -1,0 +1,33 @@
+#pragma once
+// The K_{r,s} graph class of the paper: a multigraph is in K_{r,s} iff it
+// has r vertices, Θ(r²·s) total edge multiplicity, and no vertex pair joined
+// by more than s edges.  The Lemma 9 / Lemma 11 audits need both a canonical
+// member (the complete graph with multiplicity s) and a membership check
+// that reports the Θ-constant.
+
+#include <cstdint>
+
+#include "netemu/graph/multigraph.hpp"
+
+namespace netemu {
+
+/// Canonical K_{r,s} member: complete graph on r vertices, multiplicity s.
+Multigraph make_complete(std::uint32_t r, std::uint32_t s = 1);
+
+struct KrsReport {
+  bool multiplicity_ok = false;  ///< max pair multiplicity <= s
+  std::uint64_t max_pair_multiplicity = 0;
+  /// E(G) / (r² s) — must be bounded away from 0 and above by a constant for
+  /// membership; the caller supplies the interval it accepts.
+  double density = 0.0;
+  std::uint64_t vertices_used = 0;  ///< vertices of nonzero degree
+};
+
+/// Evaluate membership evidence of g in K_{r,s} with r = vertices of g.
+KrsReport krs_report(const Multigraph& g, std::uint64_t s);
+
+/// Convenience: density within [lo, hi] and multiplicity bound respected.
+bool in_krs(const Multigraph& g, std::uint64_t s, double lo = 0.05,
+            double hi = 4.0);
+
+}  // namespace netemu

@@ -1,0 +1,51 @@
+#include "netemu/traffic/traffic_graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netemu {
+
+Multigraph traffic_graph_from_batch(std::size_t num_vertices,
+                                    const std::vector<Message>& batch) {
+  MultigraphBuilder b(num_vertices);
+  for (const Message& m : batch) {
+    if (m.src != m.dst) b.add_edge(m.src, m.dst);
+  }
+  return std::move(b).build();
+}
+
+Multigraph symmetric_traffic_graph(std::size_t num_vertices,
+                                   const std::vector<Vertex>& processors) {
+  MultigraphBuilder b(num_vertices);
+  for (std::size_t i = 0; i < processors.size(); ++i) {
+    for (std::size_t j = i + 1; j < processors.size(); ++j) {
+      b.add_edge(processors[i], processors[j]);
+    }
+  }
+  return std::move(b).build();
+}
+
+Multigraph functional_traffic_graph(std::size_t num_vertices,
+                                    const TrafficDistribution& dist) {
+  switch (dist.kind()) {
+    case TrafficKind::kPermutation:
+    case TrafficKind::kBitReversal:
+    case TrafficKind::kTranspose:
+      break;
+    default:
+      throw std::invalid_argument(
+          "functional_traffic_graph: distribution is not functional");
+  }
+  const auto& procs = dist.processors();
+  MultigraphBuilder b(num_vertices);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (std::size_t j = 0; j < procs.size(); ++j) {
+      if (i != j && dist.pair_allowed(i, j)) {
+        b.add_edge(procs[i], procs[j]);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace netemu

@@ -1,0 +1,30 @@
+#pragma once
+// Traffic multigraphs: the paper models a traffic distribution π as a
+// multigraph T_π whose integral edge weights are proportional to the pair
+// frequencies.  Bandwidth is then the purely graph-theoretic quantity
+// β(H, T) = E(T) / C(H, T).
+
+#include <vector>
+
+#include "netemu/graph/multigraph.hpp"
+#include "netemu/traffic/distribution.hpp"
+
+namespace netemu {
+
+/// T_π for a sampled batch: one vertex per machine vertex, multiplicity =
+/// number of sampled messages per unordered pair.
+Multigraph traffic_graph_from_batch(std::size_t num_vertices,
+                                    const std::vector<Message>& batch);
+
+/// Exact traffic multigraph of the symmetric distribution: the complete
+/// graph K_n on the processor set (unit multiplicity), lifted to the
+/// machine's vertex numbering.  Non-processor vertices are isolated.
+Multigraph symmetric_traffic_graph(std::size_t num_vertices,
+                                   const std::vector<Vertex>& processors);
+
+/// Exact traffic multigraph of a functional pattern (permutation /
+/// bit-reversal / transpose distributions).
+Multigraph functional_traffic_graph(std::size_t num_vertices,
+                                    const TrafficDistribution& dist);
+
+}  // namespace netemu

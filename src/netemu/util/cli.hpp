@@ -1,0 +1,33 @@
+#pragma once
+// Tiny command-line flag parser for the examples and bench binaries.
+// Supports --name=value and --name value, plus boolean --flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netemu {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace netemu

@@ -1,0 +1,66 @@
+#pragma once
+// Small integer/float math helpers shared across netemu.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace netemu {
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned ilog2(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u : ilog2(x - 1) + 1;
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Integer power (overflow is the caller's problem; sizes here are modest).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp--) r *= base;
+  return r;
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// lg(x) = log2(x), clamped so lg of anything <= 2 is 1.  Every asymptotic
+/// expression in the paper treats lg n as >= 1; clamping avoids division by
+/// zero / sign flips at tiny sizes where Θ-notation is meaningless anyway.
+inline double lg_clamped(double x) noexcept {
+  return x <= 2.0 ? 1.0 : std::log2(x);
+}
+
+/// Reverse the low `bits` bits of x (used by bit-reversal traffic patterns).
+constexpr std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+/// Rotate the low `bits` bits of x left by one (perfect shuffle).
+constexpr std::uint64_t rotl_bits(std::uint64_t x, unsigned bits) noexcept {
+  if (bits == 0) return x;
+  const std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+  return ((x << 1) | (x >> (bits - 1))) & mask;
+}
+
+/// Rotate the low `bits` bits of x right by one.
+constexpr std::uint64_t rotr_bits(std::uint64_t x, unsigned bits) noexcept {
+  if (bits == 0) return x;
+  const std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+  return ((x >> 1) | (x << (bits - 1))) & mask;
+}
+
+}  // namespace netemu

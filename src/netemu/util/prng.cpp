@@ -1,0 +1,4 @@
+// prng.hpp is header-only; this translation unit exists so the util library
+// always has at least one object file per public header and so that the
+// header is compiled standalone at least once (catches missing includes).
+#include "netemu/util/prng.hpp"

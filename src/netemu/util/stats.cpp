@@ -1,0 +1,102 @@
+#include "netemu/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit f;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+      ss_res += e * e;
+    }
+    f.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return f;
+}
+
+PowerFit fit_power(std::span<const double> ns, std::span<const double> ys) {
+  std::vector<double> lx, ly;
+  lx.reserve(ns.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (ns[i] <= 0 || ys[i] <= 0) continue;  // power law undefined; skip
+    lx.push_back(std::log2(ns[i]));
+    ly.push_back(std::log2(ys[i]));
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  return PowerFit{lf.slope, lf.intercept, lf.r2};
+}
+
+PowerFit fit_power_with_log(std::span<const double> ns,
+                            std::span<const double> ys, double log_exponent) {
+  std::vector<double> adjusted(ys.begin(), ys.end());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    adjusted[i] /= std::pow(lg_clamped(ns[i]), log_exponent);
+  }
+  return fit_power(ns, adjusted);
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(),
+                                xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace netemu

@@ -1,0 +1,56 @@
+#pragma once
+// Descriptive statistics and least-squares fitting used by the benchmark
+// harness to compare measured bandwidth curves against the paper's Θ-forms.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netemu {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Ordinary least squares fit y = a + b*x.  Returns {intercept a, slope b,
+/// coefficient of determination r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y = c * n^p on log-log axes: returns p (the exponent) and lg c.
+/// This is the primary tool for checking Table 4: a machine family with
+/// β(n) = Θ(n^p · lg^q n) measured over a geometric ladder of sizes must
+/// produce a log-log slope near p (the lg^q factor perturbs the slope by
+/// O(q / ln n), which the tolerance in the benches accounts for).
+struct PowerFit {
+  double exponent = 0.0;   // p
+  double lg_coeff = 0.0;   // lg2(c)
+  double r2 = 0.0;
+};
+
+PowerFit fit_power(std::span<const double> ns, std::span<const double> ys);
+
+/// Fit y = c * n^p * lg(n)^q with q given, i.e. fit the power law to
+/// y / lg(n)^q.  Lets a bench "divide out" the known log factor and check
+/// that the residual exponent matches.
+PowerFit fit_power_with_log(std::span<const double> ns,
+                            std::span<const double> ys, double log_exponent);
+
+/// Geometric mean of strictly positive values.
+double geometric_mean(std::span<const double> xs);
+
+/// Median (copies and sorts; fine for bench-sized data).
+double median(std::vector<double> xs);
+
+}  // namespace netemu

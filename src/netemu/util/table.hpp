@@ -1,0 +1,34 @@
+#pragma once
+// ASCII table rendering for the benchmark harness.  Every bench prints the
+// same table the paper does; this keeps the formatting in one place.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netemu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; short rows are padded with empty cells, long rows grow
+  /// the table's width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netemu

@@ -1,0 +1,59 @@
+#pragma once
+// A minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// netemu's expensive kernels (all-pairs BFS witnesses, repeated routing
+// trials, Kernighan–Lin restarts) are embarrassingly parallel over an index
+// range, so a static block-cyclic parallel_for is all we need.  Tasks must
+// not throw across the pool boundary; exceptions are rethrown on the calling
+// thread after the loop completes (first one wins).
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace netemu {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submit a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Indices are split into contiguous blocks, one per worker slot, which is
+  /// the right shape for cache-friendly per-vertex loops.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace netemu

@@ -1,0 +1,243 @@
+// Tests for the bandwidth subsystem: asymptotic algebra, the max-host-size
+// solver (the engine behind Tables 1-3), the Table 4 theory registry, and
+// the empirical estimators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netemu/bandwidth/asymptotic.hpp"
+#include "netemu/bandwidth/empirical.hpp"
+#include "netemu/bandwidth/theory.hpp"
+#include "netemu/topology/factory.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+namespace {
+
+TEST(AsymFn, EvaluatesPowerTimesLog) {
+  const AsymFn f{3.0, 0.5, 2.0};
+  EXPECT_NEAR(f(256.0), 3.0 * 16.0 * 64.0, 1e-9);
+}
+
+TEST(AsymFn, LgClampBelowTwo) {
+  const AsymFn f{1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(f(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 1.0);
+}
+
+TEST(AsymFn, MulDiv) {
+  const AsymFn a{2.0, 1.0, -1.0}, b{4.0, 0.5, 1.0};
+  const AsymFn p = a * b;
+  EXPECT_DOUBLE_EQ(p.c, 8.0);
+  EXPECT_DOUBLE_EQ(p.p, 1.5);
+  EXPECT_DOUBLE_EQ(p.q, 0.0);
+  const AsymFn q = a / b;
+  EXPECT_DOUBLE_EQ(q.p, 0.5);
+  EXPECT_DOUBLE_EQ(q.q, -2.0);
+}
+
+TEST(AsymFn, ThetaStrings) {
+  EXPECT_EQ((AsymFn{1, 0, 0}).theta_string(), "Θ(1)");
+  EXPECT_EQ((AsymFn{2, 1, 0}).theta_string(), "Θ(n)");
+  EXPECT_EQ((AsymFn{1, 0.5, 0}).theta_string(), "Θ(n^{1/2})");
+  EXPECT_EQ((AsymFn{1, 1, -1}).theta_string(), "Θ(n / lg n)");
+}
+
+TEST(ExponentString, Fractions) {
+  EXPECT_EQ(exponent_string(1.0), "");
+  EXPECT_EQ(exponent_string(2.0), "^2");
+  EXPECT_EQ(exponent_string(2.0 / 3.0), "^{2/3}");
+  EXPECT_EQ(exponent_string(0.5), "^{1/2}");
+}
+
+// --- the paper's flagship example: de Bruijn on a 2-d mesh ----------------
+
+TEST(SolveMaxHost, DeBruijnOnMesh2IsLgSquared) {
+  const AsymFn bg = beta_theory(Family::kDeBruijn);       // Θ(n / lg n)
+  const AsymFn bh = beta_theory(Family::kMesh, 2);        // Θ(m^{1/2})
+  const HostSizeSolution s = solve_max_host(bg, bh, 1 << 20);
+  EXPECT_FALSE(s.form.unconstrained);
+  EXPECT_FALSE(s.form.exponential);
+  EXPECT_NEAR(s.form.alpha, 0.0, 1e-9);
+  EXPECT_NEAR(s.form.beta, 2.0, 1e-9);   // m = Θ(lg² n)
+  // Numeric root: m with sqrt-bandwidth host... sanity: tiny relative to n.
+  EXPECT_LT(s.numeric, 1e5);
+  EXPECT_GT(s.numeric, 4.0);
+}
+
+TEST(SolveMaxHost, XTreeOnTreeIsNOverLg) {
+  const AsymFn bg = beta_theory(Family::kXTree);  // Θ(lg n)
+  const AsymFn bh = beta_theory(Family::kTree);   // Θ(1)
+  const HostSizeSolution s = solve_max_host(bg, bh, 1 << 20);
+  EXPECT_NEAR(s.form.alpha, 1.0, 1e-9);
+  EXPECT_NEAR(s.form.beta, -1.0, 1e-9);  // m = Θ(n / lg n)
+}
+
+TEST(SolveMaxHost, MeshJOnMeshKIsNPowKOverJ) {
+  for (unsigned j = 2; j <= 3; ++j) {
+    for (unsigned k = 1; k < j; ++k) {
+      const HostSizeSolution s = solve_max_host(
+          beta_theory(Family::kMesh, j), beta_theory(Family::kMesh, k),
+          1 << 20);
+      EXPECT_NEAR(s.form.alpha, static_cast<double>(k) / j, 1e-9)
+          << "j=" << j << " k=" << k;
+      EXPECT_NEAR(s.form.beta, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SolveMaxHost, MeshOnXTreeGainsLogFactor) {
+  const HostSizeSolution s = solve_max_host(
+      beta_theory(Family::kMesh, 2), beta_theory(Family::kXTree), 1 << 20);
+  EXPECT_NEAR(s.form.alpha, 0.5, 1e-9);
+  EXPECT_NEAR(s.form.beta, 1.0, 1e-9);  // Θ(n^{1/2} lg n)
+}
+
+TEST(SolveMaxHost, ButterflyOnXTreeIsLgLgLg) {
+  const HostSizeSolution s = solve_max_host(
+      beta_theory(Family::kButterfly), beta_theory(Family::kXTree), 1 << 20);
+  EXPECT_NEAR(s.form.alpha, 0.0, 1e-9);
+  EXPECT_NEAR(s.form.beta, 1.0, 1e-9);
+  EXPECT_NEAR(s.form.gamma, 1.0, 1e-9);  // Θ(lg n · lg lg n)
+}
+
+TEST(SolveMaxHost, ButterflyOnMeshKIsLgPowK) {
+  for (unsigned k = 1; k <= 3; ++k) {
+    const HostSizeSolution s =
+        solve_max_host(beta_theory(Family::kButterfly),
+                       beta_theory(Family::kMesh, k), 1 << 20);
+    EXPECT_NEAR(s.form.alpha, 0.0, 1e-9);
+    EXPECT_NEAR(s.form.beta, static_cast<double>(k), 1e-9) << k;
+  }
+}
+
+TEST(SolveMaxHost, SameFamilyIsUnconstrained) {
+  const HostSizeSolution s = solve_max_host(
+      beta_theory(Family::kDeBruijn), beta_theory(Family::kDeBruijn),
+      1 << 20);
+  EXPECT_TRUE(s.form.unconstrained);
+  EXPECT_NEAR(s.numeric, static_cast<double>(1 << 20),
+              static_cast<double>(1 << 20) * 0.01);
+}
+
+TEST(SolveMaxHost, NumericRootSatisfiesEquation) {
+  // At the numeric root m*, load slowdown n/m ~ bandwidth slowdown.
+  const double n = 1 << 16;
+  const AsymFn bg = beta_theory(Family::kMesh, 3);
+  const AsymFn bh = beta_theory(Family::kMesh, 2);
+  const HostSizeSolution s = solve_max_host(bg, bh, n);
+  const double lhs = n / s.numeric;
+  const double rhs = bg(n) / bh(s.numeric);
+  EXPECT_NEAR(lhs / rhs, 1.0, 0.01);
+}
+
+TEST(SolveMaxHost, NumericMonotoneInGuestSize) {
+  const AsymFn bg = beta_theory(Family::kDeBruijn);
+  const AsymFn bh = beta_theory(Family::kMesh, 2);
+  double prev = 0.0;
+  for (double n = 1 << 10; n <= 1 << 22; n *= 4) {
+    const double m = solve_max_host(bg, bh, n).numeric;
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(HostSizeForm, Strings) {
+  HostSizeForm f;
+  f.alpha = 0.5;
+  f.beta = 1.0;
+  EXPECT_EQ(f.to_string(), "Θ(|G|^{1/2} lg |G|)");
+  HostSizeForm g;
+  g.beta = 2.0;
+  EXPECT_EQ(g.to_string(), "Θ(lg |G|^2)");
+  HostSizeForm u;
+  u.unconstrained = true;
+  u.alpha = 1.0;
+  EXPECT_NE(u.to_string().find("no bandwidth obstruction"),
+            std::string::npos);
+}
+
+// --- Table 4 registry ------------------------------------------------------
+
+TEST(Theory, Table4Exponents) {
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kLinearArray).p, 0.0);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kXTree).q, 1.0);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kMesh, 2).p, 0.5);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kMesh, 3).p, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kDeBruijn).p, 1.0);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kDeBruijn).q, -1.0);
+  EXPECT_DOUBLE_EQ(beta_theory(Family::kHypercube).p, 1.0);
+  EXPECT_DOUBLE_EQ(lambda_theory(Family::kLinearArray).p, 1.0);
+  EXPECT_DOUBLE_EQ(lambda_theory(Family::kMesh, 2).p, 0.5);
+  EXPECT_DOUBLE_EQ(lambda_theory(Family::kButterfly).q, 1.0);
+}
+
+TEST(Theory, BetaOrdering) {
+  // Asymptotic ordering (evaluated far out so constants cannot flip it):
+  // bus <= tree <= x-tree <= mesh2 <= mesh3 <= de Bruijn.
+  const double n = 1e12;
+  EXPECT_LE(beta_theory(Family::kGlobalBus)(n),
+            beta_theory(Family::kTree)(n) + 1e-9);
+  EXPECT_LE(beta_theory(Family::kTree)(n), beta_theory(Family::kXTree)(n));
+  EXPECT_LE(beta_theory(Family::kXTree)(n), beta_theory(Family::kMesh, 2)(n));
+  EXPECT_LE(beta_theory(Family::kMesh, 2)(n),
+            beta_theory(Family::kMesh, 3)(n));
+  EXPECT_LE(beta_theory(Family::kMesh, 3)(n),
+            beta_theory(Family::kDeBruijn)(n));
+}
+
+TEST(Theory, EveryFamilyRegistered) {
+  for (Family f : all_families()) {
+    const AsymFn b = beta_theory(f, 2);
+    const AsymFn l = lambda_theory(f, 2);
+    EXPECT_GT(b.c, 0.0) << family_name(f);
+    EXPECT_GT(l.c, 0.0) << family_name(f);
+    EXPECT_TRUE(is_bottleneck_free(f));
+  }
+}
+
+// --- empirical vs theory ----------------------------------------------------
+
+TEST(Empirical, BoundsBracketSimulatedRate) {
+  Prng rng(101);
+  for (Family f : {Family::kLinearArray, Family::kTree, Family::kMesh,
+                   Family::kDeBruijn}) {
+    const Machine m = make_machine(f, 256, 2, rng);
+    BetaMeasureOptions opt;
+    opt.throughput.trials = 2;
+    const BetaBounds b = measure_beta(m, rng, opt);
+    EXPECT_GT(b.simulated, 0.0) << m.name;
+    // The simulated rate can exceed a heuristic KL cut only by slack in the
+    // estimators; allow a small factor.
+    EXPECT_LT(b.simulated, 2.5 * b.upper() + 2.0) << m.name;
+  }
+}
+
+TEST(Empirical, MeshBetaScalesLikeSqrtN) {
+  Prng rng(103);
+  ThroughputOptions opt;
+  opt.trials = 2;
+  const double r16 =
+      measure_beta_simulated(make_mesh({16, 16}), rng, opt);
+  const double r32 =
+      measure_beta_simulated(make_mesh({32, 32}), rng, opt);
+  // sqrt(1024/256) = 2; allow wide tolerance.
+  EXPECT_GT(r32 / r16, 1.4);
+  EXPECT_LT(r32 / r16, 3.0);
+}
+
+TEST(Empirical, WeakHypercubeSlowerThanWireCount) {
+  Prng rng(107);
+  ThroughputOptions opt;
+  opt.trials = 2;
+  const Machine weak = make_hypercube(8);
+  Machine strong = weak;
+  strong.forward_cap.clear();
+  const double r_weak = measure_beta_simulated(weak, rng, opt);
+  const double r_strong = measure_beta_simulated(strong, rng, opt);
+  EXPECT_GT(r_strong, 1.5 * r_weak);
+}
+
+}  // namespace
+}  // namespace netemu

@@ -1,0 +1,210 @@
+// Tests for the circuit subsystem: the redundant-circuit model, the Lemma 9
+// construction's counting claims, and the Lemma 11 collapse audit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "netemu/topology/factory.hpp"
+
+#include "netemu/circuit/circuit.hpp"
+#include "netemu/circuit/collapse_audit.hpp"
+#include "netemu/circuit/lemma9.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+namespace {
+
+TEST(Circuit, NodeNumberingRoundTrip) {
+  const Machine g = make_mesh({3, 3});
+  const Circuit c(g.graph, 5, 2);
+  for (std::uint32_t level : {0u, 3u, 5u}) {
+    for (Vertex u : {0u, 4u, 8u}) {
+      for (std::uint32_t copy : {0u, 1u}) {
+        const std::uint64_t id = c.node_id(level, u, copy);
+        EXPECT_EQ(c.level_of(id), level);
+        EXPECT_EQ(c.vertex_of(id), u);
+        EXPECT_EQ(c.copy_of(id), copy);
+      }
+    }
+  }
+  EXPECT_EQ(c.num_nodes(), 6u * 9 * 2);
+}
+
+TEST(Circuit, EfficiencyThreshold) {
+  const Machine g = make_mesh({3, 3});
+  EXPECT_TRUE(Circuit(g.graph, 5, 2).is_efficient(4.0));
+  EXPECT_FALSE(Circuit(g.graph, 5, 64).is_efficient(4.0));
+}
+
+TEST(Circuit, GraphHasRoutingAndIdentityEdges) {
+  const Machine g = make_linear_array(3);
+  const Circuit c(g.graph, 2, 1);
+  const Multigraph cg = c.circuit_graph();
+  EXPECT_EQ(cg.num_vertices(), 9u);
+  // Identity: (u,0)-(u,1): ids 0-3, 1-4, 2-5.
+  EXPECT_GT(cg.multiplicity(0, 3), 0u);
+  // Routing: (0,0)-(1,1): ids 0-4 and (1,0)-(0,1): 1-3.
+  EXPECT_GT(cg.multiplicity(0, 4), 0u);
+  EXPECT_GT(cg.multiplicity(1, 3), 0u);
+  // No intra-level edges.
+  EXPECT_EQ(cg.multiplicity(0, 1), 0u);
+}
+
+TEST(Circuit, WiringComplete) {
+  const Machine g = make_mesh({2, 3});
+  EXPECT_TRUE(Circuit(g.graph, 3, 1).wiring_is_complete());
+  EXPECT_TRUE(Circuit(g.graph, 3, 3).wiring_is_complete());
+}
+
+TEST(Circuit, CircuitGraphIsConnectedOverTime) {
+  const Machine g = make_ring(5);
+  const Multigraph cg = Circuit(g.graph, 4, 1).circuit_graph();
+  EXPECT_TRUE(is_connected(cg));
+}
+
+// --- Lemma 9 ---------------------------------------------------------------
+
+class Lemma9OnGuests : public ::testing::TestWithParam<Family> {};
+
+TEST_P(Lemma9OnGuests, CountingClaimsHold) {
+  Prng rng(55);
+  const Machine g = make_machine(GetParam(), 100, 2, rng);
+  const Lemma9Construction c(g.graph, {}, rng);
+  const Lemma9Audit a = lemma9_audit(c);
+
+  // Parameters are internally consistent.
+  EXPECT_EQ(a.t, static_cast<std::uint32_t>(
+                     std::ceil(2.0 * a.lambda)));  // stretch a = 1
+  EXPECT_GE(a.t - a.w + 1, a.cutoff);
+
+  // γ ∈ K_{Θ(nt),1}: vertices Θ(nt), pair multiplicity 1, edges a constant
+  // fraction of (nt)².
+  EXPECT_EQ(a.max_pair_multiplicity, 1u);
+  EXPECT_GT(a.vertices_per_nt, 0.3) << g.name;
+  EXPECT_LE(a.vertices_per_nt, 2.5) << g.name;
+  EXPECT_GT(a.edges_per_n2t2, 0.005) << g.name;
+  EXPECT_LT(a.edges_per_n2t2, 1.0) << g.name;
+
+  // Ω(n²) cone paths per S-level.
+  EXPECT_GT(a.cone_paths_per_level_n2, 0.2) << g.name;
+
+  // Congestion within the paper's O(max(n t², t C(G,K_n))) bound.
+  EXPECT_LE(a.congestion_ratio, 4.0) << g.name;
+  EXPECT_GT(a.congestion_ratio, 0.0) << g.name;
+
+  // Bandwidth preservation: β(Φ,γ) = Ω(t β(G)).
+  EXPECT_GT(a.preservation_ratio, 0.05) << g.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Guests, Lemma9OnGuests,
+    ::testing::Values(Family::kMesh, Family::kDeBruijn, Family::kXTree,
+                      Family::kCCC, Family::kShuffleExchange),
+    [](const ::testing::TestParamInfo<Family>& i) {
+      return std::string(family_name(i.param));
+    });
+
+TEST(Lemma9, RejectsDisconnectedGuest) {
+  Prng rng(5);
+  MultigraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  const Multigraph g = std::move(b).build();
+  EXPECT_THROW(Lemma9Construction(g, {}, rng), std::invalid_argument);
+}
+
+TEST(Lemma9, GuestBetaMatchesKnownLinearArray) {
+  Prng rng(6);
+  const Machine g = make_linear_array(16);
+  const Lemma9Construction c(g.graph, {}, rng);
+  // All-pairs on a path: C = 64, β = 120/64.
+  EXPECT_EQ(c.guest_congestion(), 64u);
+  EXPECT_NEAR(c.guest_beta(), 120.0 / 64.0, 1e-9);
+}
+
+TEST(Lemma9, WitnessPathsAreShortest) {
+  Prng rng(7);
+  const Machine g = make_mesh({4, 4});
+  const Lemma9Construction c(g.graph, {}, rng);
+  for (Vertex u = 0; u < 16; u += 3) {
+    const auto dist = bfs_distances(g.graph, u);
+    for (Vertex v = 0; v < 16; v += 2) {
+      const auto p = c.witness_path(u, v);
+      EXPECT_EQ(p.size() - 1, dist[v]);
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), v);
+    }
+  }
+}
+
+TEST(Lemma9, LargerStretchGrowsCircuit) {
+  Prng rng(8);
+  const Machine g = make_mesh({4, 4});
+  const Lemma9Construction c1(g.graph, {.stretch = 0.5}, rng);
+  const Lemma9Construction c2(g.graph, {.stretch = 2.0}, rng);
+  EXPECT_LT(c1.t(), c2.t());
+  EXPECT_LE(c1.s_levels(), c2.s_levels());
+}
+
+TEST(Lemma9, ShortComputationsDegradeTheConstruction) {
+  // Theorem 1 requires T >= (1 + Ω(1))·Λ(G): with less stretch the S-level
+  // band shrinks and γ loses density — the quantitative reason the theorem
+  // carries the minimal-time hypothesis.
+  Prng rng(12);
+  const Machine g = make_mesh({8, 8});
+  const Lemma9Construction tight(g.graph, {.stretch = 0.15}, rng);
+  const Lemma9Construction ample(g.graph, {.stretch = 1.5}, rng);
+  const Lemma9Audit at = lemma9_audit(tight);
+  const Lemma9Audit aa = lemma9_audit(ample);
+  // Same guest: the S-band (w relative to t) collapses as stretch -> 0.
+  EXPECT_LT(static_cast<double>(at.w) / at.t,
+            0.5 * static_cast<double>(aa.w) / aa.t);
+  // And γ's share of the available (nt)² pairs shrinks with it.
+  EXPECT_LT(at.gamma_edges,
+            aa.gamma_edges);
+}
+
+// --- Lemma 11 ---------------------------------------------------------------
+
+TEST(Lemma11, CollapsePreservesBandwidth) {
+  Prng rng(9);
+  const Machine g = make_mesh({6, 6});
+  const Lemma9Construction c(g.graph, {}, rng);
+  for (std::uint32_t parts : {8u, 16u}) {
+    const CollapseAudit a =
+        collapse_audit(c, parts, PartitionStrategy::kBlock, rng);
+    EXPECT_EQ(a.parts, parts);
+    // Load is the balanced ceil(N/parts).
+    EXPECT_LE(a.load_k, (c.circuit_nodes() + parts - 1) / parts);
+    // Most γ-edges survive (k = o(n) regime: drop fraction small).
+    EXPECT_GT(a.surviving_fraction, 0.7) << parts;
+    // ξ ∈ K_{parts, O(k²)}.
+    EXPECT_LE(a.pair_mult_over_k2, 4.0) << parts;
+    // β(M, ξ) = Ω(β(Φ, γ)).
+    EXPECT_GT(a.preservation_ratio, 0.25) << parts;
+    EXPECT_EQ(a.surviving_edges + a.dropped_edges, a.total_gamma_edges);
+  }
+}
+
+TEST(Lemma11, RandomCollapseAlsoPreserves) {
+  Prng rng(10);
+  const Machine g = make_debruijn(5);
+  const Lemma9Construction c(g.graph, {}, rng);
+  const CollapseAudit a =
+      collapse_audit(c, 8, PartitionStrategy::kRandom, rng);
+  EXPECT_GT(a.surviving_fraction, 0.7);
+  EXPECT_GT(a.preservation_ratio, 0.2);
+}
+
+TEST(Lemma11, RejectsDegenerateParts) {
+  Prng rng(11);
+  const Machine g = make_mesh({4, 4});
+  const Lemma9Construction c(g.graph, {}, rng);
+  EXPECT_THROW(collapse_audit(c, 1, PartitionStrategy::kBlock, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netemu

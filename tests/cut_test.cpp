@@ -1,0 +1,139 @@
+// Unit tests for the cut subsystem: exact bisection, Kernighan-Lin, spectral
+// lower bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/cut/bisection.hpp"
+#include "netemu/cut/spectral.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+namespace {
+
+Multigraph path_graph(std::size_t n) {
+  MultigraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+TEST(CutValue, CountsMultiplicity) {
+  MultigraphBuilder b(4);
+  b.add_edge(0, 1, 3);
+  b.add_edge(2, 3, 5);
+  b.add_edge(1, 2, 1);
+  Multigraph g = std::move(b).build();
+  EXPECT_EQ(cut_value(g, {true, true, false, false}), 1u);
+  EXPECT_EQ(cut_value(g, {true, false, true, false}), 9u);
+}
+
+TEST(ExactBisection, PathHasWidthOne) {
+  const Bisection b = exact_bisection(path_graph(10));
+  EXPECT_EQ(b.width, 1u);
+}
+
+TEST(ExactBisection, CycleHasWidthTwo) {
+  MultigraphBuilder bd(12);
+  for (Vertex v = 0; v < 12; ++v) bd.add_edge(v, (v + 1) % 12);
+  const Bisection b = exact_bisection(std::move(bd).build());
+  EXPECT_EQ(b.width, 2u);
+}
+
+TEST(ExactBisection, CompleteGraph) {
+  // K6 bisection: 3x3 edges = 9.
+  MultigraphBuilder bd(6);
+  for (Vertex i = 0; i < 6; ++i) {
+    for (Vertex j = i + 1; j < 6; ++j) bd.add_edge(i, j);
+  }
+  EXPECT_EQ(exact_bisection(std::move(bd).build()).width, 9u);
+}
+
+TEST(ExactBisection, SidesAreBalanced) {
+  const Bisection b = exact_bisection(path_graph(11));
+  const auto count =
+      std::count(b.side.begin(), b.side.end(), true);
+  EXPECT_TRUE(count == 5 || count == 6);
+  EXPECT_EQ(cut_value(path_graph(11), b.side), b.width);
+}
+
+TEST(ExactBisection, Mesh4x4) {
+  // 4x4 mesh has bisection width 4 (cut down the middle).
+  const Machine m = make_mesh({4, 4});
+  EXPECT_EQ(exact_bisection(m.graph).width, 4u);
+}
+
+TEST(KlBisection, MatchesExactOnSmallGraphs) {
+  Prng rng(17);
+  for (std::size_t n : {8, 12, 16}) {
+    const Machine m = make_mesh({static_cast<std::uint32_t>(n / 4), 4});
+    const Bisection exact = exact_bisection(m.graph);
+    const Bisection kl = kl_bisection(m.graph, rng, 16);
+    EXPECT_EQ(kl.width, exact.width) << "n=" << n;
+  }
+}
+
+TEST(KlBisection, BalancedAndConsistent) {
+  Prng rng(19);
+  const Machine m = make_mesh({8, 8});
+  const Bisection b = kl_bisection(m.graph, rng, 8);
+  const auto count = std::count(b.side.begin(), b.side.end(), true);
+  EXPECT_EQ(count, 32);
+  EXPECT_EQ(cut_value(m.graph, b.side), b.width);
+  // True width is 8; KL should land at or near it.
+  EXPECT_LE(b.width, 12u);
+  EXPECT_GE(b.width, 8u);
+}
+
+TEST(KlBisection, MeshScalesLikeSide) {
+  Prng rng(23);
+  const Bisection b16 = kl_bisection(make_mesh({16, 16}).graph, rng, 8);
+  const Bisection b32 = kl_bisection(make_mesh({32, 32}).graph, rng, 8);
+  // Widths ~16 and ~32: ratio should be near 2.
+  const double ratio = static_cast<double>(b32.width) /
+                       static_cast<double>(b16.width);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Spectral, FiedlerOfCompleteGraph) {
+  // K_n has lambda2 = n.
+  MultigraphBuilder bd(8);
+  for (Vertex i = 0; i < 8; ++i) {
+    for (Vertex j = i + 1; j < 8; ++j) bd.add_edge(i, j);
+  }
+  Prng rng(29);
+  const SpectralResult r = fiedler_value(std::move(bd).build(), rng);
+  EXPECT_NEAR(r.lambda2, 8.0, 0.05);
+}
+
+TEST(Spectral, FiedlerOfPathIsSmall) {
+  // Path lambda2 = 2(1 - cos(pi/n)).
+  Prng rng(31);
+  const SpectralResult r = fiedler_value(path_graph(16), rng);
+  const double expected = 2.0 * (1.0 - std::cos(3.14159265358979 / 16));
+  EXPECT_NEAR(r.lambda2, expected, 0.02);
+}
+
+TEST(Spectral, LowerBoundsBisection) {
+  Prng rng(37);
+  for (std::uint32_t side : {4u, 6u}) {
+    const Machine m = make_mesh({side, side});
+    const SpectralResult r = fiedler_value(m.graph, rng);
+    const Bisection exact = side <= 4 ? exact_bisection(m.graph)
+                                      : kl_bisection(m.graph, rng, 16);
+    EXPECT_LE(r.bisection_lb, static_cast<double>(exact.width) + 1e-6)
+        << "side=" << side;
+    EXPECT_GT(r.bisection_lb, 0.0);
+  }
+}
+
+TEST(BisectionAuto, PicksExactForSmall) {
+  Prng rng(41);
+  const Bisection b = bisection_auto(path_graph(12), rng);
+  EXPECT_EQ(b.width, 1u);
+}
+
+}  // namespace
+}  // namespace netemu

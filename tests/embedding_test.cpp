@@ -1,0 +1,200 @@
+// Tests for the embedding subsystem: embeddings, congestion/dilation,
+// partitioners, and the congestion witness that feeds Theorem 6.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "netemu/embedding/congestion_witness.hpp"
+#include "netemu/embedding/embedding.hpp"
+#include "netemu/embedding/partition.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/topology/generators.hpp"
+#include "netemu/traffic/k_rs.hpp"
+#include "netemu/traffic/traffic_graph.hpp"
+
+namespace netemu {
+namespace {
+
+std::vector<Vertex> identity_map(std::size_t n) {
+  std::vector<Vertex> m(n);
+  std::iota(m.begin(), m.end(), 0u);
+  return m;
+}
+
+TEST(Embedding, IdentityEmbeddingOfHostIntoItself) {
+  Prng rng(1);
+  const Machine host = make_mesh({4, 4});
+  const auto router = make_default_router(host);
+  const Embedding emb = embed_with_router(host.graph, host,
+                                          identity_map(16), *router, rng);
+  const EmbeddingMetrics m = evaluate_embedding(host.graph, host.graph, emb);
+  EXPECT_EQ(m.dilation, 1u);
+  EXPECT_EQ(m.congestion, 1u);
+  EXPECT_DOUBLE_EQ(m.avg_dilation, 1.0);
+}
+
+TEST(Embedding, CollapsedEndpointsCostNothing) {
+  Prng rng(2);
+  const Machine host = make_linear_array(2);
+  // Guest: triangle with all vertices mapped to host vertex 0.
+  MultigraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const Multigraph guest = std::move(b).build();
+  const auto router = make_default_router(host);
+  const Embedding emb =
+      embed_with_router(guest, host, {0, 0, 0}, *router, rng);
+  const EmbeddingMetrics m = evaluate_embedding(guest, host.graph, emb);
+  EXPECT_EQ(m.congestion, 0u);
+  EXPECT_EQ(m.dilation, 0u);
+}
+
+TEST(Embedding, MultiplicityWeightsCongestion) {
+  Prng rng(3);
+  const Machine host = make_linear_array(3);
+  MultigraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  const Multigraph guest = std::move(b).build();
+  const auto router = make_default_router(host);
+  // Map guest 0 -> host 0, guest 1 -> host 2: each of the 5 parallel edges
+  // crosses both host edges.
+  const Embedding emb = embed_with_router(guest, host, {0, 2}, *router, rng);
+  const EmbeddingMetrics m = evaluate_embedding(guest, host.graph, emb);
+  EXPECT_EQ(m.congestion, 5u);
+  EXPECT_EQ(m.dilation, 2u);
+}
+
+TEST(Embedding, RejectsForeignWalk) {
+  const Machine host = make_linear_array(4);
+  MultigraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Multigraph guest = std::move(b).build();
+  Embedding emb;
+  emb.vertex_map = {0, 3};
+  emb.edge_paths = {{0, 2, 3}};  // 0-2 is not a host edge
+  EXPECT_THROW(evaluate_embedding(guest, host.graph, emb),
+               std::invalid_argument);
+}
+
+// --- partitioners -----------------------------------------------------------
+
+TEST(Partition, BlockIsContiguousAndBalanced) {
+  Prng rng(4);
+  const Machine g = make_linear_array(10);
+  const auto part = partition_guest(g.graph, 3, PartitionStrategy::kBlock,
+                                    rng);
+  EXPECT_EQ(part, (std::vector<std::uint32_t>{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}));
+  EXPECT_EQ(max_load(part, 3), 4u);
+}
+
+TEST(Partition, AllStrategiesBalanced) {
+  Prng rng(5);
+  const Machine g = make_mesh({8, 8});
+  for (auto s : {PartitionStrategy::kBlock, PartitionStrategy::kBfs,
+                 PartitionStrategy::kRandom, PartitionStrategy::kMatched}) {
+    const auto part = partition_guest(g.graph, 16, s, rng);
+    EXPECT_EQ(part.size(), 64u);
+    // Every slot used, load within 2x of perfect.
+    std::set<std::uint32_t> used(part.begin(), part.end());
+    EXPECT_EQ(used.size(), 16u) << partition_strategy_name(s);
+    EXPECT_LE(max_load(part, 16), 8u) << partition_strategy_name(s);
+  }
+}
+
+TEST(Partition, MatchedCutsLessThanRandom) {
+  Prng rng(6);
+  const Machine g = make_mesh({16, 16});
+  const auto matched =
+      partition_guest(g.graph, 16, PartitionStrategy::kMatched, rng);
+  const auto random =
+      partition_guest(g.graph, 16, PartitionStrategy::kRandom, rng);
+  auto cut_edges = [&](const std::vector<std::uint32_t>& part) {
+    std::uint64_t cut = 0;
+    for (const Edge& e : g.graph.edges()) cut += part[e.u] != part[e.v];
+    return cut;
+  };
+  EXPECT_LT(cut_edges(matched), cut_edges(random) / 2);
+}
+
+TEST(Partition, MatchedPartitionMapsSlotsToDistinctProcessors) {
+  Prng rng(7);
+  const Machine guest = make_mesh({8, 8});
+  const Machine host = make_mesh({4, 4});
+  const MatchedPartition mp = matched_partition(guest.graph, host, 16, rng);
+  std::set<std::uint32_t> procs(mp.slot_to_proc.begin(),
+                                mp.slot_to_proc.end());
+  EXPECT_EQ(procs.size(), 16u);
+  EXPECT_EQ(max_load(mp.guest_slot, 16), 4u);
+}
+
+// --- congestion witness / Theorem 6 ----------------------------------------
+
+TEST(Witness, LinearArrayAllPairsCongestion) {
+  Prng rng(8);
+  const Machine host = make_linear_array(16);
+  const Multigraph kn = symmetric_traffic_graph(16, identity_map(16));
+  const CongestionWitness w = congestion_witness(host, kn, rng);
+  // Middle edge carries 8*8 = 64 paths.
+  EXPECT_EQ(w.congestion, 64u);
+  // beta_graph = E(K16)/C = 120/64 = 1.875 — the Θ(1) of Table 4.
+  EXPECT_NEAR(w.beta_graph, 1.875, 1e-9);
+}
+
+TEST(Witness, BusThroughHub) {
+  Prng rng(9);
+  const Machine host = make_global_bus(8);
+  const Multigraph kn = symmetric_traffic_graph(9, host.processors);
+  const CongestionWitness w = congestion_witness(host, kn, rng);
+  // Each processor's wire carries its 7 incident pairs: C = 7.
+  EXPECT_EQ(w.congestion, 7u);
+  EXPECT_EQ(w.dilation, 2u);
+}
+
+TEST(Witness, BusNodeCapacityBindsBeta) {
+  // The hub forwards one message per tick: the node-capacity-aware witness
+  // must report beta ~ 1 even though edge congestion alone would say n.
+  Prng rng(13);
+  const Machine host = make_global_bus(8);
+  const Multigraph kn = symmetric_traffic_graph(9, host.processors);
+  const CongestionWitness w = congestion_witness(host, kn, rng);
+  // All 28 pairs forward through the hub once (plus source departures).
+  EXPECT_GE(w.node_congestion, 28u);
+  EXPECT_NEAR(w.beta_graph, 1.0, 0.2);
+}
+
+TEST(Witness, MeshBetaMatchesSqrtShape) {
+  Prng rng(10);
+  const Machine h16 = make_mesh({16, 16});
+  const Machine h8 = make_mesh({8, 8});
+  const CongestionWitness w16 = congestion_witness(
+      h16, symmetric_traffic_graph(256, identity_map(256)), rng);
+  const CongestionWitness w8 = congestion_witness(
+      h8, symmetric_traffic_graph(64, identity_map(64)), rng);
+  const double ratio = w16.beta_graph / w8.beta_graph;
+  EXPECT_GT(ratio, 1.4);  // sqrt(4) = 2 expected
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Witness, ScalingTrafficScalesCongestionLinearly) {
+  // C(H, xT) = x C(H, T) in the limit — exactly here, since paths repeat.
+  Prng rng(11);
+  const Machine host = make_linear_array(8);
+  const Multigraph t = symmetric_traffic_graph(8, identity_map(8));
+  const CongestionWitness w1 = congestion_witness(host, t, rng);
+  const CongestionWitness w3 = congestion_witness(host, t.scaled(3), rng);
+  EXPECT_EQ(w3.congestion, 3 * w1.congestion);
+  EXPECT_NEAR(w3.beta_graph, w1.beta_graph, 1e-9);
+}
+
+TEST(Witness, RejectsOversizedTraffic) {
+  Prng rng(12);
+  const Machine host = make_linear_array(4);
+  const Multigraph big = make_complete(8);
+  EXPECT_THROW(congestion_witness(host, big, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netemu

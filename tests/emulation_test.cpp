@@ -1,0 +1,208 @@
+// Tests for the emulation subsystem: the engine, the bound calculators,
+// the max-host-size tables, and — the paper's headline — measured slowdown
+// always at or above the Efficient Emulation Theorem's lower bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/emulation/bounds.hpp"
+#include "netemu/emulation/engine.hpp"
+#include "netemu/emulation/host_size.hpp"
+#include "netemu/emulation/tables.hpp"
+#include "netemu/topology/factory.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+namespace {
+
+TEST(Engine, SelfEmulationIsConstantSlowdown) {
+  Prng rng(1);
+  const Machine m = make_mesh({8, 8});
+  EmulationOptions opt;
+  opt.guest_steps = 4;
+  // Block partition on equal row-major meshes is the identity placement.
+  opt.partition = PartitionStrategy::kBlock;
+  const EmulationResult r = emulate(m, m, rng, opt);
+  EXPECT_EQ(r.max_load, 1u);
+  // A machine emulating itself in place: each step costs O(1) host ticks.
+  EXPECT_LT(r.slowdown, 4.0);
+  EXPECT_GE(r.slowdown, 1.0);
+}
+
+TEST(Engine, LoadBoundRespected) {
+  Prng rng(2);
+  const Machine guest = make_mesh({8, 8});
+  const Machine host = make_mesh({4, 4});
+  EmulationOptions opt;
+  opt.guest_steps = 4;
+  const EmulationResult r = emulate(guest, host, rng, opt);
+  EXPECT_EQ(r.max_load, 4u);
+  // Slowdown at least the load bound n/m.
+  EXPECT_GE(r.slowdown, 4.0);
+}
+
+TEST(Engine, MeasuredSlowdownAboveTheoryLowerBound) {
+  Prng rng(3);
+  struct Case {
+    Family gf;
+    unsigned gk;
+    std::size_t gn;
+    Family hf;
+    unsigned hk;
+    std::size_t hn;
+  };
+  const Case cases[] = {
+      {Family::kDeBruijn, 1, 256, Family::kMesh, 2, 64},
+      {Family::kMesh, 2, 256, Family::kLinearArray, 1, 32},
+      {Family::kXTree, 1, 127, Family::kTree, 1, 31},
+      {Family::kMesh, 3, 512, Family::kMesh, 2, 64},
+  };
+  for (const Case& c : cases) {
+    const Machine guest = make_machine(c.gf, c.gn, c.gk, rng);
+    const Machine host = make_machine(c.hf, c.hn, c.hk, rng);
+    EmulationOptions opt;
+    opt.guest_steps = 3;
+    const EmulationResult r = emulate(guest, host, rng, opt);
+    const SlowdownBounds b = slowdown_bounds(
+        c.gf, c.gk, static_cast<double>(guest.graph.num_vertices()), c.hf,
+        c.hk, static_cast<double>(host.graph.num_vertices()));
+    // The theory bound is Ω(·); measured slowdown must not be
+    // asymptotically below it.  Allow constant slack of 4x.
+    EXPECT_GE(r.slowdown * 4.0, b.combined)
+        << guest.name << " on " << host.name;
+  }
+}
+
+TEST(Engine, BandwidthStarvedHostHurtsMoreThanLoad) {
+  Prng rng(4);
+  // de Bruijn(1024) on a 64-node linear array vs a 64-node mesh: equal
+  // load ratio, but the linear array (beta = Theta(1)) is far more
+  // bandwidth-starved than the mesh (beta = Theta(sqrt(m))).
+  const Machine guest = make_debruijn(10);
+  const Machine line_host = make_linear_array(64);
+  const Machine mesh_host = make_mesh({8, 8});
+  EmulationOptions opt;
+  opt.guest_steps = 2;
+  const double s_line = emulate(guest, line_host, rng, opt).slowdown;
+  const double s_mesh = emulate(guest, mesh_host, rng, opt).slowdown;
+  EXPECT_GT(s_line, 2.0 * s_mesh);
+}
+
+TEST(Engine, PartitionStrategyAblation) {
+  Prng rng(5);
+  const Machine guest = make_mesh({16, 16});
+  const Machine host = make_mesh({4, 4});
+  EmulationOptions opt;
+  opt.guest_steps = 3;
+  opt.partition = PartitionStrategy::kBlock;
+  const double s_block = emulate(guest, host, rng, opt).slowdown;
+  opt.partition = PartitionStrategy::kRandom;
+  const double s_random = emulate(guest, host, rng, opt).slowdown;
+  // Random placement destroys locality: strictly more communication.
+  EXPECT_GT(s_random, s_block);
+}
+
+TEST(Bounds, CombinedIsMax) {
+  // Host ABOVE the lg^2 n crossover: bandwidth bound dominates load bound.
+  const SlowdownBounds big =
+      slowdown_bounds(Family::kDeBruijn, 1, 1 << 20, Family::kMesh, 2, 4096);
+  EXPECT_DOUBLE_EQ(big.combined, std::max(big.load, big.bandwidth));
+  EXPECT_DOUBLE_EQ(big.load, 256.0);
+  EXPECT_GT(big.bandwidth, big.load);
+  // Host BELOW the crossover: load bound dominates.
+  const SlowdownBounds small =
+      slowdown_bounds(Family::kDeBruijn, 1, 1 << 20, Family::kMesh, 2, 64);
+  EXPECT_GT(small.load, small.bandwidth);
+}
+
+TEST(Bounds, KochDistanceTreeOnMesh) {
+  // S >= ((n / lg^k n))^{1/(k+1)} — grows with n, shrinks with k.
+  const double b1 = koch_distance_bound_tree_on_mesh(1 << 20, 1);
+  const double b2 = koch_distance_bound_tree_on_mesh(1 << 20, 2);
+  EXPECT_GT(b1, b2);
+  EXPECT_GT(koch_distance_bound_tree_on_mesh(1 << 22, 2), b2);
+}
+
+TEST(Bounds, KochCongestionMeshOnMesh) {
+  EXPECT_NEAR(koch_congestion_bound_mesh_on_mesh(2, 1, 1 << 20),
+              std::pow(double(1 << 20), 0.5), 1e-6);
+  EXPECT_NEAR(koch_congestion_bound_mesh_on_mesh(3, 2, 64.0),
+              std::pow(64.0, 1.0 / 6.0), 1e-9);
+}
+
+TEST(Bounds, KochButterflyOnMeshIsExponential) {
+  EXPECT_NEAR(koch_congestion_bound_butterfly_on_mesh_lg(2, 1 << 20),
+              1024.0, 1e-6);
+}
+
+TEST(Bounds, BandwidthMatchesKochForNonExpanders) {
+  // §1.2: for non-expander guests the bandwidth bound matches Koch's
+  // congestion bound.  Mesh_k on mesh_j at equal sizes:
+  // bandwidth: n^{(k-1)/k - (j-1)/j} = n^{(k-j)/(jk)} — identical exponent.
+  const double n = 1 << 18;
+  const SlowdownBounds b =
+      slowdown_bounds(Family::kMesh, 3, n, Family::kMesh, 2, n);
+  const double koch = koch_congestion_bound_mesh_on_mesh(3, 2, n);
+  const double ratio = b.bandwidth / koch;
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 10.0);
+}
+
+// --- host-size tables --------------------------------------------------------
+
+TEST(HostSize, DeBruijnRow) {
+  const auto hosts = standard_hosts({2});
+  const auto entries =
+      max_host_table(Family::kDeBruijn, 1, 1 << 20, hosts);
+  ASSERT_EQ(entries.size(), hosts.size());
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.symbolic.empty());
+    EXPECT_GE(e.numeric, 2.0);
+    EXPECT_LE(e.numeric, double(1 << 20));
+  }
+  // Mesh2 host entry is the intro's Θ(lg² n).
+  const auto mesh2 = std::find_if(entries.begin(), entries.end(),
+                                  [](const HostSizeEntry& e) {
+                                    return e.host.family == Family::kMesh &&
+                                           e.host.k == 2;
+                                  });
+  ASSERT_NE(mesh2, entries.end());
+  EXPECT_NE(mesh2->symbolic.find("lg |G|^2"), std::string::npos)
+      << mesh2->symbolic;
+}
+
+TEST(HostSize, StrongerHostsAllowLargerSizes) {
+  // For a 3-dim mesh guest: mesh1 < mesh2 < mesh3 host sizes.
+  double prev = 0;
+  for (unsigned k = 1; k <= 3; ++k) {
+    const HostSizeEntry e = max_host_size(Family::kMesh, 3, 1 << 20,
+                                          {Family::kMesh, k});
+    EXPECT_GT(e.numeric, prev) << k;
+    prev = e.numeric;
+  }
+}
+
+TEST(Tables, AllFourRender) {
+  const Table t1 = paper_table1({1, 2}, 1 << 20);
+  const Table t2 = paper_table2({2}, 1 << 20);
+  const Table t3 = paper_table3(1 << 20);
+  const Table t4 = paper_table4({2, 3});
+  EXPECT_GT(t1.rows(), 10u);
+  EXPECT_GT(t2.rows(), 10u);
+  EXPECT_GT(t3.rows(), 10u);
+  EXPECT_GT(t4.rows(), 15u);
+  // Spot-check a famous entry: Butterfly guest on Mesh2 host = Θ(lg² n).
+  EXPECT_NE(t3.to_string().find("lg |G|^2"), std::string::npos);
+}
+
+TEST(Tables, Table4MatchesPaperStrings) {
+  const std::string t4 = paper_table4({2}).to_string();
+  EXPECT_NE(t4.find("Θ(n^{1/2})"), std::string::npos);   // Mesh2 β
+  EXPECT_NE(t4.find("Θ(n / lg n)"), std::string::npos);  // Butterfly β
+  EXPECT_NE(t4.find("Θ(lg n)"), std::string::npos);      // X-Tree β / Λ
+}
+
+}  // namespace
+}  // namespace netemu

@@ -1,0 +1,226 @@
+// Property-based tests: randomized instances, structural invariants.
+// Each TEST_P sweep draws a family of random multigraphs / machines from a
+// seeded generator and asserts invariants that must hold for EVERY instance
+// — conservation laws of the builder/collapse, metric properties of BFS,
+// bound orderings of the cut estimators, and the flux laws of the packet
+// simulator (Lemma 8's arithmetic on real batches).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "netemu/bandwidth/asymptotic.hpp"
+#include "netemu/cut/bisection.hpp"
+#include "netemu/cut/spectral.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/graph/collapse.hpp"
+#include "netemu/graph/io.hpp"
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/routing/router.hpp"
+#include "netemu/topology/factory.hpp"
+#include "netemu/topology/generators.hpp"
+
+namespace netemu {
+namespace {
+
+/// Random connected multigraph: a random spanning tree plus extra random
+/// edges with random small multiplicities.
+Multigraph random_connected(std::size_t n, double extra_per_vertex,
+                            Prng& rng) {
+  MultigraphBuilder b(n);
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  shuffle(order, rng);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.add_edge(order[i], order[rng.below(i)],
+               1 + static_cast<std::uint32_t>(rng.below(3)));
+  }
+  const auto extra = static_cast<std::size_t>(extra_per_vertex * n);
+  for (std::size_t e = 0; e < extra; ++e) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) v = (v + 1) % n;
+    b.add_edge(std::min(u, v), std::max(u, v),
+               1 + static_cast<std::uint32_t>(rng.below(2)));
+  }
+  return std::move(b).build();
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphs, BuilderConservesMultiplicity) {
+  Prng rng(GetParam());
+  const std::size_t n = 8 + rng.below(40);
+  // Raw insertions, duplicated arbitrarily.
+  std::uint64_t total = 0;
+  MultigraphBuilder b(n);
+  for (int i = 0; i < 200; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) v = (v + 1) % n;
+    const auto mult = static_cast<std::uint32_t>(rng.below(4));
+    b.add_edge(u, v, mult);
+    total += mult;
+  }
+  const Multigraph g = std::move(b).build();
+  EXPECT_EQ(g.total_multiplicity(), total);
+  // Degree sum == 2 E(G).
+  std::uint64_t degsum = 0;
+  for (Vertex v = 0; v < n; ++v) degsum += g.degree(v);
+  EXPECT_EQ(degsum, 2 * total);
+  // Adjacency is symmetric.
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(g.multiplicity(e.u, e.v), g.multiplicity(e.v, e.u));
+    EXPECT_EQ(g.multiplicity(e.u, e.v), e.mult);
+  }
+}
+
+TEST_P(RandomGraphs, EdgeListRoundTripIsIdentity) {
+  Prng rng(GetParam() ^ 0x11);
+  const Multigraph g = random_connected(6 + rng.below(30), 1.0, rng);
+  const Multigraph h = from_edge_list(to_edge_list(g));
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(h.edges()[i].u, g.edges()[i].u);
+    EXPECT_EQ(h.edges()[i].v, g.edges()[i].v);
+    EXPECT_EQ(h.edges()[i].mult, g.edges()[i].mult);
+  }
+}
+
+TEST_P(RandomGraphs, CollapseConservesEdges) {
+  Prng rng(GetParam() ^ 0x22);
+  const std::size_t n = 10 + rng.below(50);
+  const Multigraph g = random_connected(n, 1.5, rng);
+  const std::uint32_t parts = 2 + static_cast<std::uint32_t>(rng.below(6));
+  std::vector<std::uint32_t> part(n);
+  for (auto& p : part) p = static_cast<std::uint32_t>(rng.below(parts));
+  const CollapseResult r = collapse(g, part, parts);
+  EXPECT_EQ(r.quotient.total_multiplicity() + r.dropped_loop_multiplicity,
+            g.total_multiplicity());
+  std::uint32_t load_total = 0;
+  for (std::uint32_t l : r.load) load_total += l;
+  EXPECT_EQ(load_total, n);
+}
+
+TEST_P(RandomGraphs, BfsIsAMetric) {
+  Prng rng(GetParam() ^ 0x33);
+  const std::size_t n = 8 + rng.below(24);
+  const Multigraph g = random_connected(n, 0.8, rng);
+  std::vector<std::vector<std::uint32_t>> dist;
+  for (Vertex v = 0; v < n; ++v) dist.push_back(bfs_distances(g, v));
+  for (Vertex a = 0; a < n; ++a) {
+    EXPECT_EQ(dist[a][a], 0u);
+    for (Vertex b2 = 0; b2 < n; ++b2) {
+      EXPECT_EQ(dist[a][b2], dist[b2][a]);
+      for (Vertex c = 0; c < n; ++c) {
+        EXPECT_LE(dist[a][c], dist[a][b2] + dist[b2][c]);
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphs, CutEstimatorOrdering) {
+  Prng rng(GetParam() ^ 0x44);
+  const std::size_t n = 8 + 2 * rng.below(5);  // even, <= 16
+  const Multigraph g = random_connected(n, 1.0, rng);
+  const Bisection exact = exact_bisection(g);
+  const Bisection kl = kl_bisection(g, rng, 12);
+  const SpectralResult sp = fiedler_value(g, rng);
+  EXPECT_LE(sp.bisection_lb, static_cast<double>(exact.width) + 1e-6);
+  EXPECT_GE(kl.width, exact.width);
+  EXPECT_EQ(cut_value(g, exact.side), exact.width);
+  EXPECT_EQ(cut_value(g, kl.side), kl.width);
+  const auto count_a = std::count(exact.side.begin(), exact.side.end(), true);
+  EXPECT_TRUE(static_cast<std::size_t>(count_a) == n / 2 ||
+              static_cast<std::size_t>(count_a) == (n + 1) / 2);
+}
+
+TEST_P(RandomGraphs, ScaledGraphScalesCutsLinearly) {
+  Prng rng(GetParam() ^ 0x55);
+  const Multigraph g = random_connected(12, 1.0, rng);
+  const Multigraph g3 = g.scaled(3);
+  const Bisection b1 = exact_bisection(g);
+  const Bisection b3 = exact_bisection(g3);
+  EXPECT_EQ(b3.width, 3 * b1.width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --------------------------------------------------------------------------
+// Flux laws of the packet simulator on random machines/batches.
+
+class RandomBatches : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBatches, FluxLowerBoundsHold) {
+  Prng rng(GetParam() * 7919);
+  const Family families[] = {Family::kMesh, Family::kTree, Family::kDeBruijn,
+                             Family::kCCC, Family::kExpander};
+  const Family f = families[rng.below(5)];
+  const Machine m = make_machine(f, 64 + rng.below(128), 2, rng);
+  const auto router = make_default_router(m);
+  const std::size_t n = m.graph.num_vertices();
+
+  std::vector<std::vector<Vertex>> paths;
+  std::size_t total_hops = 0, max_dilation = 0;
+  const std::size_t batch = 200 + rng.below(800);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) v = static_cast<Vertex>((v + 1) % n);
+    paths.push_back(router->route(u, v, rng));
+    total_hops += paths.back().size() - 1;
+    max_dilation = std::max(max_dilation, paths.back().size() - 1);
+  }
+
+  PacketSimulator sim(m);
+  const BatchStats s = sim.run_batch(paths, rng);
+  EXPECT_EQ(s.delivered, batch);
+  EXPECT_EQ(s.total_hops, total_hops);
+  // Lemma 8 arithmetic: time >= congestion, time >= dilation, and total
+  // wire-ticks available (channels * T) must cover total hops.
+  EXPECT_GE(s.makespan, s.static_congestion);
+  EXPECT_GE(s.makespan, max_dilation);
+  EXPECT_GE(static_cast<double>(s.makespan) *
+                static_cast<double>(2 * m.graph.total_multiplicity()),
+            static_cast<double>(total_hops));
+  // And the schedule is never absurdly bad: O(C + D) with a generous
+  // constant for greedy arbitration.
+  EXPECT_LE(s.makespan, 8 * (s.static_congestion + max_dilation) + 8);
+  // Latency accounting: average <= makespan, > 0 when any hop occurred.
+  EXPECT_LE(s.avg_latency, static_cast<double>(s.makespan));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBatches,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --------------------------------------------------------------------------
+// The host-size solver against brute-force inversion on random exponents.
+
+class RandomAsym : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAsym, NumericRootIsTheThreshold) {
+  Prng rng(GetParam() * 104729);
+  // Guest: sub-linear bandwidth; host: strictly weaker shape.
+  const AsymFn bg{1.0 + rng.uniform(), 0.3 + 0.6 * rng.uniform(),
+                  rng.uniform() < 0.5 ? 0.0 : -1.0};
+  const AsymFn bh{1.0 + rng.uniform(), 0.25 * rng.uniform(),
+                  rng.uniform() < 0.5 ? 0.0 : 1.0};
+  const double n = 1 << 20;
+  const HostSizeSolution sol = solve_max_host(bg, bh, n);
+  ASSERT_GT(sol.numeric, 2.0);
+  if (sol.numeric < n * 0.99) {
+    // Just below the root the constraint holds; just above it fails.
+    auto ok = [&](double m2) { return bg(n) / bh(m2) <= n / m2 + 1e-9; };
+    EXPECT_TRUE(ok(sol.numeric * 0.98));
+    EXPECT_FALSE(ok(sol.numeric * 1.05));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAsym,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace netemu

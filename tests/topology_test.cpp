@@ -1,0 +1,402 @@
+// Tests for every topology generator: vertex/edge counts, degrees,
+// connectivity, diameters, and the factory's size targeting.
+// Parameterized sweeps (TEST_P) assert the family-independent invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netemu/cut/bisection.hpp"
+#include "netemu/graph/algorithms.hpp"
+#include "netemu/routing/throughput.hpp"
+#include "netemu/topology/factory.hpp"
+#include "netemu/topology/generators.hpp"
+#include "netemu/util/math.hpp"
+
+namespace netemu {
+namespace {
+
+TEST(LinearArray, Shape) {
+  const Machine m = make_linear_array(10);
+  EXPECT_EQ(m.graph.num_vertices(), 10u);
+  EXPECT_EQ(m.graph.num_edges(), 9u);
+  EXPECT_EQ(diameter_exact(m.graph), 9u);
+  EXPECT_EQ(m.graph.max_degree(), 2u);
+}
+
+TEST(Ring, Shape) {
+  const Machine m = make_ring(10);
+  EXPECT_EQ(m.graph.num_edges(), 10u);
+  EXPECT_EQ(diameter_exact(m.graph), 5u);
+  EXPECT_EQ(m.graph.min_degree(), 2u);
+  EXPECT_EQ(m.graph.max_degree(), 2u);
+}
+
+TEST(GlobalBus, HubSerializesAndProcessorsExcludeHub) {
+  const Machine m = make_global_bus(8);
+  EXPECT_EQ(m.graph.num_vertices(), 9u);
+  EXPECT_EQ(m.graph.num_edges(), 8u);
+  EXPECT_EQ(m.num_processors(), 8u);
+  ASSERT_EQ(m.forward_cap.size(), 9u);
+  EXPECT_EQ(m.forward_cap[8], 1u);
+  EXPECT_EQ(m.forward_cap[0], kUnlimitedForward);
+  EXPECT_EQ(diameter_exact(m.graph), 2u);
+}
+
+TEST(Tree, Shape) {
+  const Machine m = make_tree(4);
+  EXPECT_EQ(m.graph.num_vertices(), 31u);
+  EXPECT_EQ(m.graph.num_edges(), 30u);
+  EXPECT_EQ(diameter_exact(m.graph), 8u);  // leaf to leaf across the root
+  EXPECT_EQ(m.graph.max_degree(), 3u);
+}
+
+TEST(FatTree, CapacityDoublesTowardTheRoot) {
+  const Machine m = make_fat_tree(4);
+  EXPECT_EQ(m.graph.num_vertices(), 31u);
+  // Edge from depth-1 child into the root carries the full leaf bandwidth.
+  EXPECT_EQ(m.graph.multiplicity(0, 1), 16u);
+  EXPECT_EQ(m.graph.multiplicity(0, 2), 16u);
+  // Leaf edges carry 2 wires (2^(h - h + 1)).
+  EXPECT_EQ(m.graph.multiplicity(15, 7), 2u);
+  // Same shape as the plain tree, far more total wire.
+  const Machine plain = make_tree(4);
+  EXPECT_EQ(m.graph.num_edges(), plain.graph.num_edges());
+  EXPECT_GT(m.graph.total_multiplicity(),
+            4 * plain.graph.total_multiplicity());
+}
+
+TEST(FatTree, BisectionIsLinearInLeaves) {
+  Prng rng(71);
+  const Machine m = make_fat_tree(5);  // 63 vertices, 32 leaves
+  const Bisection b = kl_bisection(m.graph, rng, 8);
+  // Cutting a root edge (32 wires) is the natural near-balanced cut.
+  EXPECT_GE(b.width, 30u);
+  EXPECT_LE(b.width, 70u);
+}
+
+TEST(FatTree, ThroughputIsLinear) {
+  Prng rng(72);
+  ThroughputOptions opt;
+  opt.trials = 2;
+  const Machine small = make_fat_tree(5);   // 63
+  const Machine large = make_fat_tree(7);   // 255
+  const auto rate = [&](const Machine& m) {
+    std::vector<Vertex> procs(m.graph.num_vertices());
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      procs[i] = static_cast<Vertex>(i);
+    }
+    const auto traffic = TrafficDistribution::symmetric(procs);
+    const auto router = make_default_router(m);
+    return measure_throughput(m, *router, traffic, rng, opt).rate;
+  };
+  const double ratio = rate(large) / rate(small);
+  // beta = Θ(n): 4x the size should give ~4x the rate.
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(WeakPPN, LeavesAreProcessors) {
+  const Machine m = make_weak_ppn(3);
+  EXPECT_EQ(m.graph.num_vertices(), 15u);
+  EXPECT_EQ(m.num_processors(), 8u);
+  // Leaves are the last 8 heap indices.
+  EXPECT_EQ(m.processors.front(), 7u);
+  EXPECT_EQ(m.processors.back(), 14u);
+  for (std::uint32_t cap : m.forward_cap) EXPECT_EQ(cap, 1u);
+}
+
+TEST(XTree, LevelEdgesPresent) {
+  const Machine m = make_x_tree(3);
+  EXPECT_EQ(m.graph.num_vertices(), 15u);
+  // Tree edges 14 + level edges (1 + 3 + 7) = 25.
+  EXPECT_EQ(m.graph.num_edges(), 25u);
+  // Adjacent cousins at the deepest level: 7-8, 8-9, ...
+  EXPECT_EQ(m.graph.multiplicity(7, 8), 1u);
+  EXPECT_EQ(m.graph.multiplicity(9, 10), 1u);
+  // X-tree diameter is O(lg n) thanks to level edges.
+  EXPECT_LE(diameter_exact(m.graph), 6u);
+}
+
+TEST(Mesh, Shape2D) {
+  const Machine m = make_mesh({4, 5});
+  EXPECT_EQ(m.graph.num_vertices(), 20u);
+  EXPECT_EQ(m.graph.num_edges(), 4u * 4 + 3u * 5);  // 31
+  EXPECT_EQ(diameter_exact(m.graph), 3u + 4u);
+}
+
+TEST(Mesh, Shape3D) {
+  const Machine m = make_mesh({3, 3, 3});
+  EXPECT_EQ(m.graph.num_vertices(), 27u);
+  EXPECT_EQ(m.graph.num_edges(), 3u * (2 * 9));  // 54
+  EXPECT_EQ(diameter_exact(m.graph), 6u);
+  EXPECT_EQ(m.graph.max_degree(), 6u);
+}
+
+TEST(Torus, WrapEdgesAndDiameter) {
+  const Machine m = make_torus({4, 4});
+  EXPECT_EQ(m.graph.num_edges(), 32u);  // 2 per vertex per dim
+  EXPECT_EQ(diameter_exact(m.graph), 4u);
+  EXPECT_EQ(m.graph.min_degree(), 4u);
+}
+
+TEST(Torus, SideTwoDoesNotDuplicateEdges) {
+  const Machine m = make_torus({2, 2});
+  EXPECT_EQ(m.graph.num_edges(), 4u);
+  EXPECT_EQ(m.graph.max_degree(), 2u);
+}
+
+TEST(XGrid, DiagonalsOfEveryFace) {
+  const Machine m = make_x_grid({3, 3});
+  // Mesh edges 12 + 2 diagonals per each of 4 faces = 20.
+  EXPECT_EQ(m.graph.num_edges(), 20u);
+  // Center touches everything: degree 8.
+  EXPECT_EQ(m.graph.degree(4), 8u);
+  EXPECT_EQ(diameter_exact(m.graph), 2u);
+}
+
+TEST(XGrid, ThreeDimensionalFaceCount) {
+  const Machine m = make_x_grid({2, 2, 2});
+  // Mesh edges: 3 * 4 = 12.  Faces: 3 axis pairs x (2 faces... per pair:
+  // for sides 2x2 each pair contributes 2 * 2 diagonals per slab * 2 slabs?
+  // Count directly instead: every pair of vertices at Hamming-like distance
+  // 2 in exactly two coords differing by 1 is joined.
+  std::uint64_t expected_diagonals = 0;
+  const auto& g = m.graph;
+  for (Vertex u = 0; u < 8; ++u) {
+    for (Vertex v = u + 1; v < 8; ++v) {
+      int diff = 0;
+      for (int d = 0; d < 3; ++d) {
+        const int cu = (u >> (2 - d)) & 1, cv = (v >> (2 - d)) & 1;
+        diff += cu != cv;
+      }
+      if (diff == 2) ++expected_diagonals;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), 12u + expected_diagonals);
+}
+
+TEST(MeshOfTrees, CountsAndProcessors) {
+  const Machine m = make_mesh_of_trees(2, 4);
+  // 16 base cells + 2 dims * 4 lines * 3 internal = 40 vertices.
+  EXPECT_EQ(m.graph.num_vertices(), 40u);
+  EXPECT_EQ(m.num_processors(), 16u);
+  EXPECT_TRUE(is_connected(m.graph));
+  // Base cells have degree 2 (one row tree leaf + one column tree leaf).
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(m.graph.degree(v), 2u);
+  // Tree edges only: |V| - #trees... every tree on 4 leaves has 3 internal
+  // and 6 edges; 8 trees -> 48 edges.
+  EXPECT_EQ(m.graph.num_edges(), 48u);
+  EXPECT_LE(diameter_exact(m.graph), 8u);
+}
+
+TEST(MeshOfTrees, ThreeDims) {
+  const Machine m = make_mesh_of_trees(3, 2);
+  // 8 base + 3 dims * 4 lines * 1 internal = 20.
+  EXPECT_EQ(m.graph.num_vertices(), 20u);
+  EXPECT_TRUE(is_connected(m.graph));
+}
+
+TEST(Multigrid, LevelsAndConnectivity) {
+  const Machine m = make_multigrid(2, 4);
+  // Levels: 16 + 4 + 1 = 21 vertices.
+  EXPECT_EQ(m.graph.num_vertices(), 21u);
+  EXPECT_TRUE(is_connected(m.graph));
+  // Mesh edges 24 + 4 + 0; vertical: 4 + 1.
+  EXPECT_EQ(m.graph.num_edges(), 24u + 4u + 4u + 1u);
+  EXPECT_LE(diameter_exact(m.graph), 8u);
+}
+
+TEST(Pyramid, LevelsAndParentEdges) {
+  const Machine m = make_pyramid(2, 4);
+  EXPECT_EQ(m.graph.num_vertices(), 21u);
+  // Mesh edges 24 + 4; parent edges 16 + 4.
+  EXPECT_EQ(m.graph.num_edges(), 24u + 4u + 16u + 4u);
+  EXPECT_TRUE(is_connected(m.graph));
+  // Apex (last vertex) sees the whole machine within O(lg) hops.
+  EXPECT_LE(eccentricity(m.graph, 20), 4u);
+}
+
+TEST(Butterfly, LevelsRowsEdges) {
+  const Machine m = make_butterfly(3);
+  EXPECT_EQ(m.graph.num_vertices(), 32u);  // 4 levels x 8 rows
+  EXPECT_EQ(m.graph.num_edges(), 3u * 8 * 2);
+  EXPECT_TRUE(is_connected(m.graph));
+  // End levels have degree 2, middle levels 4.
+  EXPECT_EQ(m.graph.degree(0), 2u);
+  EXPECT_EQ(m.graph.degree(8), 4u);
+}
+
+TEST(WrappedButterfly, Regular4) {
+  const Machine m = make_wrapped_butterfly(3);
+  EXPECT_EQ(m.graph.num_vertices(), 24u);
+  EXPECT_EQ(m.graph.min_degree(), 4u);
+  EXPECT_EQ(m.graph.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(m.graph));
+}
+
+TEST(DeBruijn, DegreesAndConnectivity) {
+  const Machine m = make_debruijn(4);
+  EXPECT_EQ(m.graph.num_vertices(), 16u);
+  EXPECT_TRUE(is_connected(m.graph));
+  EXPECT_LE(m.graph.max_degree(), 4u);
+  EXPECT_EQ(diameter_exact(m.graph), 4u);
+}
+
+TEST(ShuffleExchange, DegreesAndDiameter) {
+  const Machine m = make_shuffle_exchange(4);
+  EXPECT_EQ(m.graph.num_vertices(), 16u);
+  EXPECT_TRUE(is_connected(m.graph));
+  EXPECT_LE(m.graph.max_degree(), 3u);
+  // SE diameter is ~2 lg n.
+  EXPECT_LE(diameter_exact(m.graph), 8u);
+}
+
+TEST(CCC, Regular3) {
+  const Machine m = make_ccc(3);
+  EXPECT_EQ(m.graph.num_vertices(), 24u);
+  EXPECT_EQ(m.graph.min_degree(), 3u);
+  EXPECT_EQ(m.graph.max_degree(), 3u);
+  EXPECT_TRUE(is_connected(m.graph));
+}
+
+TEST(Hypercube, WeakCaps) {
+  const Machine m = make_hypercube(4);
+  EXPECT_EQ(m.graph.num_vertices(), 16u);
+  EXPECT_EQ(m.graph.num_edges(), 32u);
+  EXPECT_EQ(diameter_exact(m.graph), 4u);
+  ASSERT_EQ(m.forward_cap.size(), 16u);
+  for (std::uint32_t cap : m.forward_cap) EXPECT_EQ(cap, 1u);
+}
+
+TEST(Multibutterfly, ContainsButterflyAndMore) {
+  Prng rng(5);
+  const Machine m = make_multibutterfly(4, rng, 1);
+  const Machine bf = make_butterfly(4);
+  EXPECT_EQ(m.graph.num_vertices(), bf.graph.num_vertices());
+  EXPECT_GE(m.graph.num_edges(), bf.graph.num_edges());
+  // Every butterfly edge survives.
+  for (const Edge& e : bf.graph.edges()) {
+    EXPECT_GT(m.graph.multiplicity(e.u, e.v), 0u);
+  }
+  EXPECT_TRUE(is_connected(m.graph));
+}
+
+TEST(Multibutterfly, SplittersExpand) {
+  // The multibutterfly's defining property: within a level, every small set
+  // of nodes has many distinct next-level neighbors in each half (expansion
+  // of the random splitters).  Monte Carlo over random small subsets.
+  Prng rng(73);
+  const Machine m = make_multibutterfly(6, rng, 1);
+  const std::uint64_t rows = 64;
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned level = static_cast<unsigned>(rng.below(6));
+    // Random subset of 8 nodes from this level.
+    std::set<Vertex> subset;
+    while (subset.size() < 8) {
+      subset.insert(static_cast<Vertex>(level * rows + rng.below(rows)));
+    }
+    std::set<Vertex> next_neighbors;
+    for (Vertex u : subset) {
+      for (const Arc& a : m.graph.neighbors(u)) {
+        if (a.to / rows == level + 1) next_neighbors.insert(a.to);
+      }
+    }
+    // Degree ~4 into the next level; expansion >= 1.25x is comfortably met
+    // by random splitters.
+    EXPECT_GE(next_neighbors.size(), subset.size() + subset.size() / 4)
+        << "level " << level;
+  }
+}
+
+TEST(Expander, RegularAndConnected) {
+  Prng rng(7);
+  const Machine m = make_expander(64, 4, rng);
+  EXPECT_EQ(m.graph.num_vertices(), 64u);
+  EXPECT_TRUE(is_connected(m.graph));
+  EXPECT_LE(m.graph.max_degree(), 4u);
+  // Random regular graphs have logarithmic diameter.
+  EXPECT_LE(diameter_exact(m.graph), 8u);
+}
+
+TEST(Expander, DeterministicUnderSeed) {
+  Prng r1(99), r2(99);
+  const Machine a = make_expander(32, 4, r1);
+  const Machine b = make_expander(32, 4, r2);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (std::size_t i = 0; i < a.graph.num_edges(); ++i) {
+    EXPECT_EQ(a.graph.edges()[i].u, b.graph.edges()[i].u);
+    EXPECT_EQ(a.graph.edges()[i].v, b.graph.edges()[i].v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized invariants across all families and a ladder of sizes.
+
+struct FactoryCase {
+  Family family;
+  unsigned k;
+  std::size_t target;
+};
+
+class FactoryInvariants : public ::testing::TestWithParam<FactoryCase> {};
+
+TEST_P(FactoryInvariants, ConnectedSizedAndSane) {
+  const FactoryCase c = GetParam();
+  Prng rng(1234);
+  const Machine m = make_machine(c.family, c.target, c.k, rng);
+  EXPECT_EQ(m.family, c.family);
+  EXPECT_FALSE(m.name.empty());
+  const std::size_t n = m.graph.num_vertices();
+  ASSERT_GE(n, 2u);
+  EXPECT_TRUE(is_connected(m.graph)) << m.name;
+  // Size targeting within 4x either way (families have quantized sizes).
+  EXPECT_GE(static_cast<double>(n), c.target / 4.5) << m.name;
+  EXPECT_LE(static_cast<double>(n), c.target * 4.5) << m.name;
+  // Processor list (when present) names real vertices.
+  for (Vertex p : m.processors) EXPECT_LT(p, n);
+  if (!m.forward_cap.empty()) {
+    EXPECT_EQ(m.forward_cap.size(), n);
+  }
+  // No self loops, no zero-multiplicity edges.
+  for (const Edge& e : m.graph.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_GE(e.mult, 1u);
+  }
+}
+
+std::vector<FactoryCase> factory_cases() {
+  std::vector<FactoryCase> cases;
+  for (Family f : all_families()) {
+    const unsigned kmax = family_is_dimensional(f) ? 3 : 1;
+    for (unsigned k = 1; k <= kmax; ++k) {
+      for (std::size_t target : {64, 256, 1024}) {
+        cases.push_back({f, k == 0 ? 1 : k, target});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string factory_case_name(
+    const ::testing::TestParamInfo<FactoryCase>& info) {
+  return std::string(family_name(info.param.family)) + "_k" +
+         std::to_string(info.param.k) + "_n" +
+         std::to_string(info.param.target);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FactoryInvariants,
+                         ::testing::ValuesIn(factory_cases()),
+                         factory_case_name);
+
+TEST(Factory, FamilyFromNameRoundTrip) {
+  for (Family f : all_families()) {
+    const auto parsed = family_from_name(family_name(f));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(family_from_name("NoSuchMachine").has_value());
+}
+
+}  // namespace
+}  // namespace netemu

@@ -1,0 +1,184 @@
+// Tests for the traffic subsystem: distributions, traffic graphs, K_{r,s}.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "netemu/traffic/distribution.hpp"
+#include "netemu/traffic/k_rs.hpp"
+#include "netemu/traffic/traffic_graph.hpp"
+
+namespace netemu {
+namespace {
+
+std::vector<Vertex> iota_procs(std::size_t n) {
+  std::vector<Vertex> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  return p;
+}
+
+TEST(Symmetric, NeverSelfAndCoversPairs) {
+  Prng rng(1);
+  const auto d = TrafficDistribution::symmetric(iota_procs(6));
+  std::map<std::pair<Vertex, Vertex>, int> seen;
+  for (int i = 0; i < 6000; ++i) {
+    const Message m = d.sample(rng);
+    ASSERT_NE(m.src, m.dst);
+    ASSERT_LT(m.src, 6u);
+    ++seen[{m.src, m.dst}];
+  }
+  EXPECT_EQ(seen.size(), 30u);  // all ordered pairs occur
+  for (const auto& [pair, count] : seen) {
+    EXPECT_NEAR(count, 200, 90) << pair.first << "->" << pair.second;
+  }
+}
+
+TEST(Symmetric, RespectsProcessorSubset) {
+  Prng rng(2);
+  // Processor ids that are NOT 0..n-1 (like the bus machine's PE list).
+  const std::vector<Vertex> procs{3, 5, 9};
+  const auto d = TrafficDistribution::symmetric(procs);
+  for (int i = 0; i < 100; ++i) {
+    const Message m = d.sample(rng);
+    EXPECT_TRUE(m.src == 3 || m.src == 5 || m.src == 9);
+    EXPECT_TRUE(m.dst == 3 || m.dst == 5 || m.dst == 9);
+  }
+}
+
+TEST(QuasiSymmetric, DensityMatchesFraction) {
+  const auto d =
+      TrafficDistribution::quasi_symmetric(iota_procs(64), 0.5, 777);
+  std::size_t allowed = 0, total = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      if (i == j) continue;
+      ++total;
+      allowed += d.pair_allowed(i, j);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(allowed) / total, 0.5, 0.05);
+}
+
+TEST(QuasiSymmetric, SamplesOnlyAllowedPairs) {
+  Prng rng(3);
+  const auto d =
+      TrafficDistribution::quasi_symmetric(iota_procs(16), 0.3, 42);
+  for (int i = 0; i < 500; ++i) {
+    const Message m = d.sample(rng);
+    EXPECT_TRUE(d.pair_allowed(m.src, m.dst));
+  }
+}
+
+TEST(QuasiSymmetric, RejectsBadFraction) {
+  EXPECT_THROW(TrafficDistribution::quasi_symmetric(iota_procs(4), 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(TrafficDistribution::quasi_symmetric(iota_procs(4), 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(Permutation, IsFixedPointFreeBijection) {
+  Prng rng(4);
+  const auto d = TrafficDistribution::permutation(iota_procs(17), rng);
+  std::vector<int> hits(17, 0);
+  for (std::size_t s = 0; s < 17; ++s) {
+    std::size_t dst = 18;
+    for (std::size_t t2 = 0; t2 < 17; ++t2) {
+      if (d.pair_allowed(s, t2)) {
+        EXPECT_EQ(dst, 18u) << "two targets for " << s;
+        dst = t2;
+      }
+    }
+    ASSERT_NE(dst, 18u);
+    EXPECT_NE(dst, s);
+    ++hits[dst];
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(BitReversal, MatchesBitMath) {
+  const auto d = TrafficDistribution::bit_reversal(iota_procs(8));
+  EXPECT_TRUE(d.pair_allowed(1, 4));   // 001 -> 100
+  EXPECT_TRUE(d.pair_allowed(3, 6));   // 011 -> 110
+  EXPECT_FALSE(d.pair_allowed(1, 2));
+  EXPECT_THROW(TrafficDistribution::bit_reversal(iota_procs(6)),
+               std::invalid_argument);
+}
+
+TEST(Transpose, MatchesMatrixMath) {
+  const auto d = TrafficDistribution::transpose(iota_procs(9));
+  EXPECT_TRUE(d.pair_allowed(1, 3));   // (0,1) -> (1,0)
+  EXPECT_TRUE(d.pair_allowed(5, 7));   // (1,2) -> (2,1)
+  EXPECT_THROW(TrafficDistribution::transpose(iota_procs(8)),
+               std::invalid_argument);
+}
+
+TEST(Hotspot, HotDestinationIsFrequent) {
+  Prng rng(5);
+  const auto d = TrafficDistribution::hotspot(iota_procs(32), 0.7, rng);
+  std::vector<int> dst_count(32, 0);
+  for (int i = 0; i < 20000; ++i) ++dst_count[d.sample(rng).dst];
+  const int top = *std::max_element(dst_count.begin(), dst_count.end());
+  EXPECT_GT(top, 20000 * 0.6);
+}
+
+TEST(Batch, SizeAndEndpoints) {
+  Prng rng(6);
+  const auto d = TrafficDistribution::symmetric(iota_procs(8));
+  const auto batch = d.batch(1000, rng);
+  EXPECT_EQ(batch.size(), 1000u);
+}
+
+TEST(TrafficGraph, FromBatchAccumulatesMultiplicity) {
+  const std::vector<Message> batch{{0, 1}, {1, 0}, {0, 1}, {2, 3}};
+  const Multigraph t = traffic_graph_from_batch(4, batch);
+  EXPECT_EQ(t.multiplicity(0, 1), 3u);
+  EXPECT_EQ(t.multiplicity(2, 3), 1u);
+  EXPECT_EQ(t.total_multiplicity(), 4u);
+}
+
+TEST(TrafficGraph, SymmetricIsCompleteOnProcessors) {
+  const Multigraph t = symmetric_traffic_graph(10, {2, 4, 6, 8});
+  EXPECT_EQ(t.num_vertices(), 10u);
+  EXPECT_EQ(t.num_edges(), 6u);
+  EXPECT_EQ(t.multiplicity(2, 8), 1u);
+  EXPECT_EQ(t.degree(0), 0u);  // non-processor isolated
+}
+
+TEST(TrafficGraph, FunctionalRequiresFunctionalKind) {
+  Prng rng(7);
+  const auto sym = TrafficDistribution::symmetric(iota_procs(4));
+  EXPECT_THROW(functional_traffic_graph(4, sym), std::invalid_argument);
+  const auto perm = TrafficDistribution::permutation(iota_procs(4), rng);
+  const Multigraph t = functional_traffic_graph(4, perm);
+  // Permutation gives n directed messages; as undirected multigraph total
+  // multiplicity is n (pairs may merge if i->j and j->i).
+  EXPECT_EQ(t.total_multiplicity(), 4u);
+}
+
+TEST(Krs, CanonicalMemberPasses) {
+  const Multigraph k = make_complete(10, 3);
+  EXPECT_EQ(k.total_multiplicity(), 45u * 3);
+  const KrsReport rep = krs_report(k, 3);
+  EXPECT_TRUE(rep.multiplicity_ok);
+  EXPECT_EQ(rep.max_pair_multiplicity, 3u);
+  EXPECT_NEAR(rep.density, 45.0 * 3 / (100.0 * 3), 1e-12);
+  EXPECT_TRUE(in_krs(k, 3));
+}
+
+TEST(Krs, MultiplicityViolationFails) {
+  MultigraphBuilder b(4);
+  b.add_edge(0, 1, 10);
+  b.add_edge(2, 3, 1);
+  const Multigraph g = std::move(b).build();
+  EXPECT_FALSE(in_krs(g, 2));
+}
+
+TEST(Krs, SparseGraphFailsDensity) {
+  MultigraphBuilder b(100);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(in_krs(std::move(b).build(), 1));
+}
+
+}  // namespace
+}  // namespace netemu
