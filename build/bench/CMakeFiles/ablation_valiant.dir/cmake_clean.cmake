@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_valiant.dir/ablation_valiant.cpp.o"
+  "CMakeFiles/ablation_valiant.dir/ablation_valiant.cpp.o.d"
+  "ablation_valiant"
+  "ablation_valiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_valiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_bounds.dir/algorithm_bounds.cpp.o"
+  "CMakeFiles/algorithm_bounds.dir/algorithm_bounds.cpp.o.d"
+  "algorithm_bounds"
+  "algorithm_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_free.dir/bottleneck_free.cpp.o"
+  "CMakeFiles/bottleneck_free.dir/bottleneck_free.cpp.o.d"
+  "bottleneck_free"
+  "bottleneck_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

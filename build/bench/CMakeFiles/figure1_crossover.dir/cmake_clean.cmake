@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_crossover.dir/figure1_crossover.cpp.o"
+  "CMakeFiles/figure1_crossover.dir/figure1_crossover.cpp.o.d"
+  "figure1_crossover"
+  "figure1_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_circuit.dir/figure2_circuit.cpp.o"
+  "CMakeFiles/figure2_circuit.dir/figure2_circuit.cpp.o.d"
+  "figure2_circuit"
+  "figure2_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

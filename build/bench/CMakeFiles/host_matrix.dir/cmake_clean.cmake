@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_matrix.dir/host_matrix.cpp.o"
+  "CMakeFiles/host_matrix.dir/host_matrix.cpp.o.d"
+  "host_matrix"
+  "host_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hosts.dir/table1_hosts.cpp.o"
+  "CMakeFiles/table1_hosts.dir/table1_hosts.cpp.o.d"
+  "table1_hosts"
+  "table1_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hosts.dir/table2_hosts.cpp.o"
+  "CMakeFiles/table2_hosts.dir/table2_hosts.cpp.o.d"
+  "table2_hosts"
+  "table2_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hosts.dir/table3_hosts.cpp.o"
+  "CMakeFiles/table3_hosts.dir/table3_hosts.cpp.o.d"
+  "table3_hosts"
+  "table3_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem6_equivalence.dir/theorem6_equivalence.cpp.o"
+  "CMakeFiles/theorem6_equivalence.dir/theorem6_equivalence.cpp.o.d"
+  "theorem6_equivalence"
+  "theorem6_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem6_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_analysis.dir/algorithm_analysis.cpp.o"
+  "CMakeFiles/algorithm_analysis.dir/algorithm_analysis.cpp.o.d"
+  "algorithm_analysis"
+  "algorithm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/emulation_planner.cpp" "examples/CMakeFiles/emulation_planner.dir/emulation_planner.cpp.o" "gcc" "examples/CMakeFiles/emulation_planner.dir/emulation_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netemu_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_bandwidth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_algopattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

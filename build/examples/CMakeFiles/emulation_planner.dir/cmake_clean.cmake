@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_planner.dir/emulation_planner.cpp.o"
+  "CMakeFiles/emulation_planner.dir/emulation_planner.cpp.o.d"
+  "emulation_planner"
+  "emulation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

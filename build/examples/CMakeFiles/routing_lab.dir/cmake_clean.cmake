@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_lab.dir/routing_lab.cpp.o"
+  "CMakeFiles/routing_lab.dir/routing_lab.cpp.o.d"
+  "routing_lab"
+  "routing_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_algopattern.dir/netemu/algopattern/execution.cpp.o"
+  "CMakeFiles/netemu_algopattern.dir/netemu/algopattern/execution.cpp.o.d"
+  "CMakeFiles/netemu_algopattern.dir/netemu/algopattern/patterns.cpp.o"
+  "CMakeFiles/netemu_algopattern.dir/netemu/algopattern/patterns.cpp.o.d"
+  "libnetemu_algopattern.a"
+  "libnetemu_algopattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_algopattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

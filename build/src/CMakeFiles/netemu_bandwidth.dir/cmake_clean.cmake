@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/asymptotic.cpp.o"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/asymptotic.cpp.o.d"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/bottleneck.cpp.o"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/bottleneck.cpp.o.d"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/empirical.cpp.o"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/empirical.cpp.o.d"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/theory.cpp.o"
+  "CMakeFiles/netemu_bandwidth.dir/netemu/bandwidth/theory.cpp.o.d"
+  "libnetemu_bandwidth.a"
+  "libnetemu_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

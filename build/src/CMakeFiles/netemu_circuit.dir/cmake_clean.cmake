@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/circuit.cpp.o"
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/circuit.cpp.o.d"
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/collapse_audit.cpp.o"
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/collapse_audit.cpp.o.d"
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/lemma9.cpp.o"
+  "CMakeFiles/netemu_circuit.dir/netemu/circuit/lemma9.cpp.o.d"
+  "libnetemu_circuit.a"
+  "libnetemu_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetemu_circuit.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/cut/bisection.cpp" "src/CMakeFiles/netemu_cut.dir/netemu/cut/bisection.cpp.o" "gcc" "src/CMakeFiles/netemu_cut.dir/netemu/cut/bisection.cpp.o.d"
+  "/root/repo/src/netemu/cut/kernighan_lin.cpp" "src/CMakeFiles/netemu_cut.dir/netemu/cut/kernighan_lin.cpp.o" "gcc" "src/CMakeFiles/netemu_cut.dir/netemu/cut/kernighan_lin.cpp.o.d"
+  "/root/repo/src/netemu/cut/spectral.cpp" "src/CMakeFiles/netemu_cut.dir/netemu/cut/spectral.cpp.o" "gcc" "src/CMakeFiles/netemu_cut.dir/netemu/cut/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netemu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

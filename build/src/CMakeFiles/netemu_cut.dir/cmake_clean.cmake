@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_cut.dir/netemu/cut/bisection.cpp.o"
+  "CMakeFiles/netemu_cut.dir/netemu/cut/bisection.cpp.o.d"
+  "CMakeFiles/netemu_cut.dir/netemu/cut/kernighan_lin.cpp.o"
+  "CMakeFiles/netemu_cut.dir/netemu/cut/kernighan_lin.cpp.o.d"
+  "CMakeFiles/netemu_cut.dir/netemu/cut/spectral.cpp.o"
+  "CMakeFiles/netemu_cut.dir/netemu/cut/spectral.cpp.o.d"
+  "libnetemu_cut.a"
+  "libnetemu_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

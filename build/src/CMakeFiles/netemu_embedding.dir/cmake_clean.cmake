@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/congestion_witness.cpp.o"
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/congestion_witness.cpp.o.d"
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/embedding.cpp.o"
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/embedding.cpp.o.d"
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/partition.cpp.o"
+  "CMakeFiles/netemu_embedding.dir/netemu/embedding/partition.cpp.o.d"
+  "libnetemu_embedding.a"
+  "libnetemu_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/bounds.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/bounds.cpp.o.d"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/engine.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/engine.cpp.o.d"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/host_size.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/host_size.cpp.o.d"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/redundant.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/redundant.cpp.o.d"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/tables.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/tables.cpp.o.d"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/verified.cpp.o"
+  "CMakeFiles/netemu_emulation.dir/netemu/emulation/verified.cpp.o.d"
+  "libnetemu_emulation.a"
+  "libnetemu_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

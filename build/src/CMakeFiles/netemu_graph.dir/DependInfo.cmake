@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/graph/algorithms.cpp" "src/CMakeFiles/netemu_graph.dir/netemu/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/netemu_graph.dir/netemu/graph/algorithms.cpp.o.d"
+  "/root/repo/src/netemu/graph/collapse.cpp" "src/CMakeFiles/netemu_graph.dir/netemu/graph/collapse.cpp.o" "gcc" "src/CMakeFiles/netemu_graph.dir/netemu/graph/collapse.cpp.o.d"
+  "/root/repo/src/netemu/graph/io.cpp" "src/CMakeFiles/netemu_graph.dir/netemu/graph/io.cpp.o" "gcc" "src/CMakeFiles/netemu_graph.dir/netemu/graph/io.cpp.o.d"
+  "/root/repo/src/netemu/graph/multigraph.cpp" "src/CMakeFiles/netemu_graph.dir/netemu/graph/multigraph.cpp.o" "gcc" "src/CMakeFiles/netemu_graph.dir/netemu/graph/multigraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netemu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

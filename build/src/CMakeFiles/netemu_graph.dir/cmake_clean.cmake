@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_graph.dir/netemu/graph/algorithms.cpp.o"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/algorithms.cpp.o.d"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/collapse.cpp.o"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/collapse.cpp.o.d"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/io.cpp.o"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/io.cpp.o.d"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/multigraph.cpp.o"
+  "CMakeFiles/netemu_graph.dir/netemu/graph/multigraph.cpp.o.d"
+  "libnetemu_graph.a"
+  "libnetemu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/routing/bfs_router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/bfs_router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/bfs_router.cpp.o.d"
+  "/root/repo/src/netemu/routing/butterfly_router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/butterfly_router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/butterfly_router.cpp.o.d"
+  "/root/repo/src/netemu/routing/dimension_order.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/dimension_order.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/dimension_order.cpp.o.d"
+  "/root/repo/src/netemu/routing/hierarchy_router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/hierarchy_router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/hierarchy_router.cpp.o.d"
+  "/root/repo/src/netemu/routing/packet_sim.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/packet_sim.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/packet_sim.cpp.o.d"
+  "/root/repo/src/netemu/routing/router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/router.cpp.o.d"
+  "/root/repo/src/netemu/routing/throughput.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/throughput.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/throughput.cpp.o.d"
+  "/root/repo/src/netemu/routing/tree_router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/tree_router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/tree_router.cpp.o.d"
+  "/root/repo/src/netemu/routing/xtree_router.cpp" "src/CMakeFiles/netemu_routing.dir/netemu/routing/xtree_router.cpp.o" "gcc" "src/CMakeFiles/netemu_routing.dir/netemu/routing/xtree_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netemu_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_routing.dir/netemu/routing/bfs_router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/bfs_router.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/butterfly_router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/butterfly_router.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/dimension_order.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/dimension_order.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/hierarchy_router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/hierarchy_router.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/packet_sim.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/packet_sim.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/router.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/throughput.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/throughput.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/tree_router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/tree_router.cpp.o.d"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/xtree_router.cpp.o"
+  "CMakeFiles/netemu_routing.dir/netemu/routing/xtree_router.cpp.o.d"
+  "libnetemu_routing.a"
+  "libnetemu_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

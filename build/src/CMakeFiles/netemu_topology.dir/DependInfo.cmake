@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/topology/butterfly.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/butterfly.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/butterfly.cpp.o.d"
+  "/root/repo/src/netemu/topology/ccc.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/ccc.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/ccc.cpp.o.d"
+  "/root/repo/src/netemu/topology/debruijn.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/debruijn.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/debruijn.cpp.o.d"
+  "/root/repo/src/netemu/topology/expander.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/expander.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/expander.cpp.o.d"
+  "/root/repo/src/netemu/topology/factory.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/factory.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/factory.cpp.o.d"
+  "/root/repo/src/netemu/topology/hypercube.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/hypercube.cpp.o.d"
+  "/root/repo/src/netemu/topology/linear.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/linear.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/linear.cpp.o.d"
+  "/root/repo/src/netemu/topology/machine.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/machine.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/machine.cpp.o.d"
+  "/root/repo/src/netemu/topology/mesh.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/mesh.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/mesh.cpp.o.d"
+  "/root/repo/src/netemu/topology/mesh_of_trees.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/mesh_of_trees.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/mesh_of_trees.cpp.o.d"
+  "/root/repo/src/netemu/topology/multibutterfly.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/multibutterfly.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/multibutterfly.cpp.o.d"
+  "/root/repo/src/netemu/topology/multigrid.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/multigrid.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/multigrid.cpp.o.d"
+  "/root/repo/src/netemu/topology/pyramid.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/pyramid.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/pyramid.cpp.o.d"
+  "/root/repo/src/netemu/topology/shuffle_exchange.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/shuffle_exchange.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/netemu/topology/tree.cpp" "src/CMakeFiles/netemu_topology.dir/netemu/topology/tree.cpp.o" "gcc" "src/CMakeFiles/netemu_topology.dir/netemu/topology/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netemu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netemu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

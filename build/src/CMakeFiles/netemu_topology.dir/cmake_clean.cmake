@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_topology.dir/netemu/topology/butterfly.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/butterfly.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/ccc.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/ccc.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/debruijn.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/debruijn.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/expander.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/expander.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/factory.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/factory.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/hypercube.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/hypercube.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/linear.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/linear.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/machine.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/machine.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/mesh.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/mesh.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/mesh_of_trees.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/mesh_of_trees.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/multibutterfly.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/multibutterfly.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/multigrid.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/multigrid.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/pyramid.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/pyramid.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/shuffle_exchange.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/shuffle_exchange.cpp.o.d"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/tree.cpp.o"
+  "CMakeFiles/netemu_topology.dir/netemu/topology/tree.cpp.o.d"
+  "libnetemu_topology.a"
+  "libnetemu_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

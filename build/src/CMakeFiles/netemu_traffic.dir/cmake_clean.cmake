@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/distribution.cpp.o"
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/distribution.cpp.o.d"
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/k_rs.cpp.o"
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/k_rs.cpp.o.d"
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/traffic_graph.cpp.o"
+  "CMakeFiles/netemu_traffic.dir/netemu/traffic/traffic_graph.cpp.o.d"
+  "libnetemu_traffic.a"
+  "libnetemu_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netemu/util/cli.cpp" "src/CMakeFiles/netemu_util.dir/netemu/util/cli.cpp.o" "gcc" "src/CMakeFiles/netemu_util.dir/netemu/util/cli.cpp.o.d"
+  "/root/repo/src/netemu/util/prng.cpp" "src/CMakeFiles/netemu_util.dir/netemu/util/prng.cpp.o" "gcc" "src/CMakeFiles/netemu_util.dir/netemu/util/prng.cpp.o.d"
+  "/root/repo/src/netemu/util/stats.cpp" "src/CMakeFiles/netemu_util.dir/netemu/util/stats.cpp.o" "gcc" "src/CMakeFiles/netemu_util.dir/netemu/util/stats.cpp.o.d"
+  "/root/repo/src/netemu/util/table.cpp" "src/CMakeFiles/netemu_util.dir/netemu/util/table.cpp.o" "gcc" "src/CMakeFiles/netemu_util.dir/netemu/util/table.cpp.o.d"
+  "/root/repo/src/netemu/util/thread_pool.cpp" "src/CMakeFiles/netemu_util.dir/netemu/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/netemu_util.dir/netemu/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_util.dir/netemu/util/cli.cpp.o"
+  "CMakeFiles/netemu_util.dir/netemu/util/cli.cpp.o.d"
+  "CMakeFiles/netemu_util.dir/netemu/util/prng.cpp.o"
+  "CMakeFiles/netemu_util.dir/netemu/util/prng.cpp.o.d"
+  "CMakeFiles/netemu_util.dir/netemu/util/stats.cpp.o"
+  "CMakeFiles/netemu_util.dir/netemu/util/stats.cpp.o.d"
+  "CMakeFiles/netemu_util.dir/netemu/util/table.cpp.o"
+  "CMakeFiles/netemu_util.dir/netemu/util/table.cpp.o.d"
+  "CMakeFiles/netemu_util.dir/netemu/util/thread_pool.cpp.o"
+  "CMakeFiles/netemu_util.dir/netemu/util/thread_pool.cpp.o.d"
+  "libnetemu_util.a"
+  "libnetemu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

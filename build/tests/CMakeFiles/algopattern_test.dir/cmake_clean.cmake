@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algopattern_test.dir/algopattern_test.cpp.o"
+  "CMakeFiles/algopattern_test.dir/algopattern_test.cpp.o.d"
+  "algopattern_test"
+  "algopattern_test.pdb"
+  "algopattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algopattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
