@@ -1,0 +1,112 @@
+// netemu_query: CLI client for the planner service.
+//
+//   $ netemu_query bandwidth --family Butterfly --n 4096
+//   $ netemu_query max_host --guest mesh2 --host hypercube --n 1048576
+//   $ netemu_query estimate --family butterfly --n 64 --seed 7
+//   $ netemu_query bounds --guest Tree --host mesh2 --n 65536
+//   $ netemu_query ping | stats | shutdown
+//
+// By default it talks to a running netemu_serve on --port (7464).  With
+// --local it executes the query in-process instead — no daemon needed —
+// against the same persistent cache file, so repeated local queries are
+// answered from disk in O(1).
+
+#include <iostream>
+
+#include "netemu/service/client.hpp"
+#include "netemu/service/protocol.hpp"
+#include "netemu/util/cli.hpp"
+
+using namespace netemu;
+
+namespace {
+
+int usage(const std::string& program) {
+  std::cerr
+      << "usage: " << program
+      << " [--local] [--port P] <op> [flags]\n"
+         "  ops: bandwidth | estimate | max_host | bounds | ping | stats |"
+         " shutdown\n"
+         "  query flags: --family/--guest F  --host F  --n N  --k K"
+         "  --host_k K  --m M\n"
+         "               --router default|bfs|valiant  --traffic symmetric|"
+         "quasi|permutation|bitrev|transpose|hotspot\n"
+         "               --arbitration farthest|fifo|random  --seed S"
+         "  --trials T  --deadline-ms D\n"
+         "  --local flags: --cache-file F (default netemu_cache.json)"
+         "  --cache-capacity N\n"
+         "  families accept a dimension suffix: mesh2, pyramid3, ...\n";
+  return 2;
+}
+
+/// Copy a CLI flag into the request document verbatim (strings) or as a
+/// number, only when present.
+void copy_flag(const Cli& cli, const char* flag, const char* field,
+               bool numeric, Json& doc) {
+  if (!cli.has(flag)) return;
+  if (numeric) {
+    doc[field] = cli.get_double(flag, 0.0);
+  } else {
+    doc[field] = cli.get(flag);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  // The flag parser is greedy: in "--local estimate" the op lands as the
+  // value of --local.  Accept both spellings.
+  std::string op;
+  if (!cli.positional().empty()) {
+    op = cli.positional()[0];
+  } else if (cli.has("local") && cli.get("local") != "true") {
+    op = cli.get("local");
+  }
+  if (op.empty()) return usage(cli.program());
+
+  Json request = Json::object();
+  request["op"] = op;
+  copy_flag(cli, "family", "family", false, request);
+  copy_flag(cli, "guest", "guest", false, request);
+  copy_flag(cli, "host", "host", false, request);
+  copy_flag(cli, "n", "n", true, request);
+  copy_flag(cli, "k", "k", true, request);
+  copy_flag(cli, "host_k", "host_k", true, request);
+  copy_flag(cli, "host-k", "host_k", true, request);
+  copy_flag(cli, "m", "m", true, request);
+  copy_flag(cli, "router", "router", false, request);
+  copy_flag(cli, "traffic", "traffic", false, request);
+  copy_flag(cli, "arbitration", "arbitration", false, request);
+  copy_flag(cli, "seed", "seed", true, request);
+  copy_flag(cli, "trials", "trials", true, request);
+  copy_flag(cli, "deadline-ms", "deadline_ms", true, request);
+
+  std::string response_line;
+  if (cli.has("local")) {
+    QueryExecutor::Options options;
+    options.cache_file = cli.get("cache-file", "netemu_cache.json");
+    options.cache_capacity =
+        static_cast<std::size_t>(cli.get_int("cache-capacity", 4096));
+    QueryExecutor executor(options);
+    response_line = handle_request_line(request.dump(), executor);
+    // Executor destruction persists the (possibly grown) cache.
+  } else {
+    const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
+    Client client;
+    std::string error;
+    if (!client.connect(port, &error)) {
+      std::cerr << cli.program() << ": " << error
+                << "\n(start netemu_serve, or pass --local)\n";
+      return 1;
+    }
+    if (!client.request_raw(request.dump(), response_line)) {
+      std::cerr << cli.program() << ": transport failure\n";
+      return 1;
+    }
+  }
+
+  std::cout << response_line << "\n";
+  const Json response = Json::parse(response_line);
+  return response["ok"].as_bool() ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// netemu_serve: the planner daemon.  Listens on localhost, answers
+// line-delimited JSON queries (see docs/SERVICE.md), and memoizes every
+// result in a content-addressed cache that persists across restarts.
+//
+//   $ netemu_serve --port 7464 --cache-file netemu_cache.json
+//   $ netemu_serve --port 0            # ephemeral port, printed on stdout
+//
+// Stop with SIGINT/SIGTERM or a client {"op":"shutdown"}; either path
+// drains in-flight work and saves the cache.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "netemu/service/server.hpp"
+#include "netemu/util/cli.hpp"
+
+using namespace netemu;
+
+namespace {
+std::atomic<bool> g_signal_stop{false};
+void on_signal(int) { g_signal_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  QueryExecutor::Options exec_options;
+  exec_options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  exec_options.max_queue = static_cast<std::size_t>(cli.get_int("queue", 256));
+  exec_options.default_deadline_ms =
+      static_cast<std::uint64_t>(cli.get_int("deadline-ms", 30000));
+  exec_options.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity", 4096));
+  exec_options.cache_file =
+      cli.has("no-persist") ? "" : cli.get("cache-file", "netemu_cache.json");
+
+  QueryExecutor executor(exec_options);
+  if (!exec_options.cache_file.empty()) {
+    std::cerr << "cache: " << exec_options.cache_file << " ("
+              << executor.cache().size() << " entries loaded)\n";
+  }
+
+  Server::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
+  Server server(executor, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "netemu_serve: " << error << "\n";
+    return 1;
+  }
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Poll: a signal handler cannot take the server's locks itself.
+  while (!g_signal_stop.load() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+
+  const QueryExecutor::Stats s = executor.stats();
+  std::cerr << "served " << s.requests << " requests (" << s.cache_hits
+            << " cache hits, " << s.computed << " computed, "
+            << s.dedup_joins << " dedup joins, " << s.rejected
+            << " rejected)\n";
+  executor.save_cache();
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "netemu/service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "netemu/service/protocol.hpp"
+
+namespace netemu {
+
+Client::Client() = default;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  channel_.reset();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error) {
+      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (error) error->clear();
+  return true;
+}
+
+bool Client::request_raw(const std::string& request_line,
+                         std::string& response_line) {
+  if (fd_ < 0) return false;
+  // A fresh LineChannel per request would lose buffered bytes between
+  // requests; keep one per connection.
+  if (!channel_) channel_ = std::make_unique<LineChannel>(fd_);
+  if (!channel_->write_line(request_line)) return false;
+  return channel_->read_line(response_line);
+}
+
+std::optional<Json> Client::request(const Json& request_doc,
+                                    std::string* error) {
+  std::string response_line;
+  if (!request_raw(request_doc.dump(), response_line)) {
+    if (error) *error = "transport failure (daemon gone?)";
+    return std::nullopt;
+  }
+  std::string parse_error;
+  Json doc = Json::parse(response_line, &parse_error);
+  if (!parse_error.empty()) {
+    if (error) *error = "bad response: " + parse_error;
+    return std::nullopt;
+  }
+  if (error) error->clear();
+  return doc;
+}
+
+}  // namespace netemu

@@ -1,0 +1,44 @@
+#pragma once
+// Blocking client for the planner daemon: connect, send request documents,
+// read response documents.  One Client per connection; not thread-safe
+// (the protocol is request/response in order on one socket).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netemu/util/json.hpp"
+
+namespace netemu {
+
+class LineChannel;
+
+class Client {
+ public:
+  Client();
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon at 127.0.0.1:port.  False + *error on failure.
+  bool connect(std::uint16_t port, std::string* error = nullptr);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request document, block for the response document.
+  /// Returns nullopt + *error on transport or parse failure.
+  std::optional<Json> request(const Json& request_doc,
+                              std::string* error = nullptr);
+
+  /// Raw variant: exchange pre-serialized lines (the bench's hot loop).
+  bool request_raw(const std::string& request_line, std::string& response_line);
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<LineChannel> channel_;  // persists read buffer across requests
+};
+
+}  // namespace netemu

@@ -1,0 +1,159 @@
+#include "netemu/service/executor.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "netemu/service/planner.hpp"
+
+namespace netemu {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+QueryExecutor::QueryExecutor() : QueryExecutor(Options()) {}
+
+QueryExecutor::QueryExecutor(Options options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_file),
+      pool_(options_.threads) {
+  if (!options_.compute) options_.compute = plan_query;
+  if (options_.load_cache && !options_.cache_file.empty()) cache_.load();
+}
+
+QueryExecutor::~QueryExecutor() {
+  // Drain in-flight work first so every accepted computation lands in the
+  // cache before it is persisted.
+  pool_.shutdown();
+  if (!options_.cache_file.empty()) cache_.save();
+}
+
+Response QueryExecutor::execute(const Query& q) {
+  const auto start = Clock::now();
+  const std::uint64_t key = q.cache_key();
+
+  Response response;
+  response.key = key;
+
+  if (auto cached = cache_.get(key)) {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    ++stats_.cache_hits;
+    response.ok = true;
+    response.cache_hit = true;
+    response.result = std::move(*cached);
+    response.micros = micros_since(start);
+    return response;
+  }
+
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    const auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+      ++stats_.dedup_joins;
+    } else {
+      if (pending_ >= options_.max_queue) {
+        ++stats_.rejected;
+        response.error = "overloaded: admission queue full";
+        response.micros = micros_since(start);
+        return response;
+      }
+      flight = std::make_shared<Flight>();
+      flights_[key] = flight;
+      ++pending_;
+      leader = true;
+    }
+  }
+
+  if (leader) {
+    const Query task_query = q;
+    const bool accepted = pool_.submit([this, task_query, key, flight] {
+      Response computed;
+      computed.key = key;
+      try {
+        computed.result = options_.compute(task_query).dump();
+        computed.ok = true;
+      } catch (const std::exception& e) {
+        computed.error = e.what();
+      } catch (...) {
+        computed.error = "unknown planner failure";
+      }
+      {
+        std::lock_guard lock(mutex_);
+        if (computed.ok) {
+          ++stats_.computed;
+        } else {
+          ++stats_.errors;
+        }
+        flights_.erase(key);
+        --pending_;
+      }
+      // Errors are not cached: a transient failure should not poison the
+      // content address forever.
+      if (computed.ok) cache_.put(key, computed.result);
+      {
+        std::lock_guard flight_lock(flight->mutex);
+        flight->response = std::move(computed);
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+    });
+    if (!accepted) {
+      {
+        std::lock_guard lock(mutex_);
+        flights_.erase(key);
+        --pending_;
+        ++stats_.rejected;
+      }
+      // Wake any follower that joined between registration and rejection.
+      {
+        std::lock_guard flight_lock(flight->mutex);
+        flight->response.error = "executor shutting down";
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+      response.error = "executor shutting down";
+      response.micros = micros_since(start);
+      return response;
+    }
+  }
+
+  const std::uint64_t deadline_ms =
+      q.deadline_ms > 0 ? q.deadline_ms : options_.default_deadline_ms;
+  {
+    std::unique_lock flight_lock(flight->mutex);
+    const bool done = flight->cv.wait_for(
+        flight_lock, std::chrono::milliseconds(deadline_ms),
+        [&flight] { return flight->done; });
+    if (!done) {
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.deadline_exceeded;
+      }
+      response.error = "deadline exceeded after " +
+                       std::to_string(deadline_ms) + " ms";
+      response.micros = micros_since(start);
+      return response;
+    }
+    response = flight->response;
+  }
+  response.key = key;
+  response.micros = micros_since(start);
+  return response;
+}
+
+QueryExecutor::Stats QueryExecutor::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace netemu

@@ -1,0 +1,102 @@
+#pragma once
+// The request executor: the concurrency heart of the service.
+//
+//   execute(query)
+//     ├─ cache hit  ──────────────────────────────► O(1) answer
+//     ├─ identical query already in flight ───────► join it (single-flight)
+//     ├─ admission queue full ────────────────────► rejected (backpressure)
+//     └─ otherwise: run plan_query() on the pool, publish to every waiter,
+//        store the result under its content address.
+//
+// Single-flight matters because the expensive queries are the memoizable
+// ones: a thundering herd of identical `estimate` requests triggers exactly
+// one packet simulation; the rest block on the flight and share its result.
+// Waiters honor a per-query deadline — a timed-out waiter gets an error
+// response, but the computation still completes and still fills the cache.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "netemu/service/query.hpp"
+#include "netemu/service/result_cache.hpp"
+#include "netemu/util/json.hpp"
+#include "netemu/util/thread_pool.hpp"
+
+namespace netemu {
+
+struct Response {
+  bool ok = false;
+  bool cache_hit = false;
+  std::string error;        ///< set when !ok
+  std::string result;       ///< serialized result document (when ok)
+  std::uint64_t key = 0;    ///< content address of the query
+  double micros = 0.0;      ///< wall time inside execute()
+};
+
+class QueryExecutor {
+ public:
+  struct Options {
+    std::size_t threads = 0;        ///< worker threads; 0 = hardware
+    std::size_t max_queue = 64;     ///< max queries queued or running
+    std::uint64_t default_deadline_ms = 30000;
+    std::size_t cache_capacity = 4096;
+    std::string cache_file;         ///< empty = memory-only cache
+    bool load_cache = true;         ///< load cache_file on construction
+    /// Compute function; defaults to plan_query.  Tests inject counters and
+    /// slow functions here.
+    std::function<Json(const Query&)> compute;
+  };
+
+  QueryExecutor();  // all-default Options
+  explicit QueryExecutor(Options options);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Blocking: returns when the answer is available, the deadline passes,
+  /// or the request is rejected.
+  Response execute(const Query& q);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t computed = 0;        ///< plan_query invocations
+    std::uint64_t dedup_joins = 0;     ///< requests that joined a flight
+    std::uint64_t rejected = 0;        ///< admission-queue overflow
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t errors = 0;          ///< compute failures
+  };
+  Stats stats() const;
+
+  ResultCache& cache() { return cache_; }
+  /// Persist the cache to its file (no-op without one).
+  bool save_cache() { return cache_.save(); }
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  Options options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;  // guards flights_, pending_, stats_
+  std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  std::size_t pending_ = 0;
+  Stats stats_;
+
+  // Declared last: destroyed (drained) first, while cache_ and flights_ are
+  // still alive for in-flight tasks to publish into.
+  ThreadPool pool_;
+};
+
+}  // namespace netemu

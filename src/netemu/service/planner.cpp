@@ -1,0 +1,204 @@
+#include "netemu/service/planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "netemu/bandwidth/theory.hpp"
+#include "netemu/emulation/bounds.hpp"
+#include "netemu/emulation/host_size.hpp"
+#include "netemu/routing/throughput.hpp"
+#include "netemu/topology/factory.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::vector<Vertex> processor_list(const Machine& m) {
+  if (!m.processors.empty()) return m.processors;
+  std::vector<Vertex> all(m.graph.num_vertices());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<Vertex>(i);
+  }
+  return all;
+}
+
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+bool is_perfect_square(std::size_t v) {
+  const auto r = static_cast<std::size_t>(std::lround(std::sqrt(double(v))));
+  return r * r == v;
+}
+
+TrafficDistribution make_traffic(const Query& q, const Machine& machine,
+                                 Prng& rng) {
+  std::vector<Vertex> procs = processor_list(machine);
+  switch (q.traffic) {
+    case TrafficKind::kSymmetric:
+      return TrafficDistribution::symmetric(std::move(procs));
+    case TrafficKind::kQuasiSymmetric:
+      return TrafficDistribution::quasi_symmetric(std::move(procs),
+                                                  /*fraction=*/0.25, q.seed);
+    case TrafficKind::kPermutation:
+      return TrafficDistribution::permutation(std::move(procs), rng);
+    case TrafficKind::kBitReversal:
+      if (!is_power_of_two(procs.size())) {
+        throw std::runtime_error(
+            "bit-reversal traffic needs a power-of-two processor count, got " +
+            std::to_string(procs.size()));
+      }
+      return TrafficDistribution::bit_reversal(std::move(procs));
+    case TrafficKind::kTranspose:
+      if (!is_perfect_square(procs.size())) {
+        throw std::runtime_error(
+            "transpose traffic needs a square processor count, got " +
+            std::to_string(procs.size()));
+      }
+      return TrafficDistribution::transpose(std::move(procs));
+    case TrafficKind::kHotspot:
+      return TrafficDistribution::hotspot(std::move(procs),
+                                          /*hot_fraction=*/0.1, rng);
+  }
+  throw std::runtime_error("unhandled traffic kind");
+}
+
+Json machine_info(const Machine& m) {
+  Json info = Json::object();
+  info["name"] = m.name;
+  info["family"] = family_name(m.family);
+  info["n"] = m.num_vertices();
+  info["processors"] = m.num_processors();
+  return info;
+}
+
+Json slowdown_info(const SlowdownBounds& b) {
+  Json doc = Json::object();
+  doc["load"] = b.load;
+  doc["bandwidth"] = b.bandwidth;
+  doc["combined"] = b.combined;
+  return doc;
+}
+
+}  // namespace
+
+Json plan_bandwidth(const Query& q) {
+  const AsymFn beta = beta_theory(q.family, q.k);
+  const AsymFn lambda = lambda_theory(q.family, q.k);
+  Json doc = Json::object();
+  doc["family"] = family_name(q.family);
+  if (family_is_dimensional(q.family)) doc["k"] = q.k;
+  doc["n"] = q.n;
+  Json beta_doc = Json::object();
+  beta_doc["theta"] = beta.theta_string();
+  beta_doc["value"] = beta(q.n);
+  doc["beta"] = std::move(beta_doc);
+  Json lambda_doc = Json::object();
+  lambda_doc["theta"] = lambda.theta_string();
+  lambda_doc["value"] = lambda(q.n);
+  doc["lambda"] = std::move(lambda_doc);
+  doc["bottleneck_free"] = is_bottleneck_free(q.family);
+  doc["theorem"] = theorem_for_guest(q.family);
+  return doc;
+}
+
+Json plan_estimate(const Query& q) {
+  Prng rng(q.seed);
+  const Machine machine =
+      make_machine(q.family, static_cast<std::size_t>(q.n), q.k, rng);
+
+  std::unique_ptr<Router> router;
+  switch (q.router) {
+    case RouterChoice::kDefault: router = make_default_router(machine); break;
+    case RouterChoice::kBfs: router = make_bfs_router(machine); break;
+    case RouterChoice::kValiant: router = make_valiant_router(machine); break;
+  }
+
+  const TrafficDistribution traffic = make_traffic(q, machine, rng);
+
+  ThroughputOptions options;
+  options.trials = q.trials;
+  options.arbitration = q.arbitration;
+  const ThroughputResult r =
+      measure_throughput(machine, *router, traffic, rng, options);
+
+  Json doc = Json::object();
+  doc["beta_hat"] = r.rate;
+  doc["machine"] = machine_info(machine);
+  doc["router"] = router->name();
+  doc["traffic"] = traffic_kind_name(q.traffic);
+  doc["arbitration"] = arbitration_name(q.arbitration);
+  doc["seed"] = q.seed;
+  doc["trials"] = q.trials;
+  doc["messages"] = r.messages;
+  doc["makespan"] = r.last.makespan;
+  doc["avg_latency"] = r.last.avg_latency;
+  doc["static_congestion"] = r.last.static_congestion;
+  return doc;
+}
+
+Json plan_max_host(const Query& q) {
+  const HostSpec host{q.host_family, q.host_k};
+  const HostSizeEntry entry = max_host_size(q.family, q.k, q.n, host);
+  const SlowdownBounds at_max = slowdown_bounds(
+      q.family, q.k, q.n, q.host_family, q.host_k, entry.numeric);
+
+  Json doc = Json::object();
+  doc["guest"] = family_name(q.family);
+  if (family_is_dimensional(q.family)) doc["k"] = q.k;
+  doc["n"] = q.n;
+  doc["host"] = host.label();
+  doc["guest_beta"] = beta_theory(q.family, q.k).theta_string();
+  doc["host_beta"] = beta_theory(q.host_family, q.host_k).theta_string("m");
+  doc["max_host_symbolic"] = entry.symbolic;
+  doc["max_host_numeric"] = entry.numeric;
+  doc["slowdown_at_max"] = slowdown_info(at_max);
+  return doc;
+}
+
+Json plan_bounds(const Query& q) {
+  // m = 0 means "at the maximum efficient host size" — solve it first.
+  double m = q.m;
+  if (m <= 0.0) {
+    m = max_host_size(q.family, q.k, q.n, HostSpec{q.host_family, q.host_k})
+            .numeric;
+  }
+  const SlowdownBounds eet =
+      slowdown_bounds(q.family, q.k, q.n, q.host_family, q.host_k, m);
+
+  Json doc = Json::object();
+  doc["guest"] = family_name(q.family);
+  if (family_is_dimensional(q.family)) doc["k"] = q.k;
+  doc["n"] = q.n;
+  doc["host"] = HostSpec{q.host_family, q.host_k}.label();
+  doc["m"] = m;
+  doc["eet"] = slowdown_info(eet);
+
+  // Koch et al. baselines, where their preconditions hold.
+  Json baselines = Json::object();
+  if (q.family == Family::kTree && q.host_family == Family::kMesh) {
+    baselines["distance_tree_on_mesh"] =
+        koch_distance_bound_tree_on_mesh(q.n, q.host_k);
+  }
+  if (q.family == Family::kMesh && q.host_family == Family::kMesh &&
+      q.host_k < q.k) {
+    baselines["congestion_mesh_on_mesh"] =
+        koch_congestion_bound_mesh_on_mesh(q.k, q.host_k, m);
+  }
+  if (q.family == Family::kButterfly && q.host_family == Family::kMesh) {
+    baselines["congestion_butterfly_on_mesh_lg"] =
+        koch_congestion_bound_butterfly_on_mesh_lg(q.host_k, m);
+  }
+  doc["baselines"] = std::move(baselines);
+  return doc;
+}
+
+Json plan_query(const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kBandwidth: return plan_bandwidth(q);
+    case QueryKind::kEstimate: return plan_estimate(q);
+    case QueryKind::kMaxHost: return plan_max_host(q);
+    case QueryKind::kBounds: return plan_bounds(q);
+  }
+  throw std::runtime_error("unhandled query kind");
+}
+
+}  // namespace netemu

@@ -1,0 +1,23 @@
+#pragma once
+// The planner: pure compute behind the service.  Each query kind maps to
+// one function from Query to a JSON result document.  Everything here is
+// deterministic in the query (randomness flows from the query's seed), which
+// is what makes the results content-addressable.
+
+#include "netemu/service/query.hpp"
+#include "netemu/util/json.hpp"
+
+namespace netemu {
+
+/// Dispatch on q.kind.  Throws std::runtime_error on infeasible queries
+/// (e.g. bit-reversal traffic on a machine without a power-of-two processor
+/// count); the executor converts that into an error response.
+Json plan_query(const Query& q);
+
+// Individual kinds (exposed for tests).
+Json plan_bandwidth(const Query& q);  ///< closed-form beta/Lambda registry
+Json plan_estimate(const Query& q);   ///< packet-simulated beta-hat + bounds
+Json plan_max_host(const Query& q);   ///< Tables 1-3 solver
+Json plan_bounds(const Query& q);     ///< EET vs. Koch et al. baselines
+
+}  // namespace netemu

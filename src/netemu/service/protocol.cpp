@@ -1,0 +1,137 @@
+#include "netemu/service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "netemu/util/hash.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::string error_line(const std::string& message) {
+  Json doc = Json::object();
+  doc["ok"] = false;
+  doc["error"] = message;
+  return doc.dump();
+}
+
+std::string stats_line(QueryExecutor& exec) {
+  const QueryExecutor::Stats s = exec.stats();
+  Json result = Json::object();
+  result["requests"] = s.requests;
+  result["cache_hits"] = s.cache_hits;
+  result["computed"] = s.computed;
+  result["dedup_joins"] = s.dedup_joins;
+  result["rejected"] = s.rejected;
+  result["deadline_exceeded"] = s.deadline_exceeded;
+  result["errors"] = s.errors;
+  Json cache = Json::object();
+  cache["size"] = exec.cache().size();
+  cache["capacity"] = exec.cache().capacity();
+  cache["hits"] = exec.cache().hits();
+  cache["misses"] = exec.cache().misses();
+  result["cache"] = std::move(cache);
+  Json doc = Json::object();
+  doc["ok"] = true;
+  doc["result"] = std::move(result);
+  return doc.dump();
+}
+
+}  // namespace
+
+std::string response_to_line(const Response& r) {
+  if (!r.ok) {
+    Json doc = Json::object();
+    doc["ok"] = false;
+    doc["error"] = r.error;
+    doc["key"] = hex64(r.key);
+    doc["micros"] = r.micros;
+    return doc.dump();
+  }
+  // Hand-assembled so the (hot) cached path splices the stored result text
+  // instead of reparsing it.  r.result is a complete JSON document.
+  std::string line = "{\"cache_hit\":";
+  line += r.cache_hit ? "true" : "false";
+  line += ",\"key\":\"";
+  line += hex64(r.key);
+  line += "\",\"micros\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", r.micros);
+  line += buf;
+  line += ",\"ok\":true,\"result\":";
+  line += r.result;
+  line += "}";
+  return line;
+}
+
+std::string handle_request_line(const std::string& line, QueryExecutor& exec,
+                                bool* shutdown_requested) {
+  std::string error;
+  const Json request = Json::parse(line, &error);
+  if (!error.empty()) return error_line("bad JSON: " + error);
+  if (!request.is_object()) return error_line("request must be an object");
+
+  const std::string& op = request["op"].as_string();
+  if (op == "ping") {
+    Json doc = Json::object();
+    doc["ok"] = true;
+    Json result = Json::object();
+    result["pong"] = true;
+    doc["result"] = std::move(result);
+    return doc.dump();
+  }
+  if (op == "stats") return stats_line(exec);
+  if (op == "shutdown") {
+    if (shutdown_requested) *shutdown_requested = true;
+    Json doc = Json::object();
+    doc["ok"] = true;
+    Json result = Json::object();
+    result["stopping"] = shutdown_requested != nullptr;
+    doc["result"] = std::move(result);
+    return doc.dump();
+  }
+
+  const auto query = query_from_json(request, &error);
+  if (!query) return error_line(error);
+  return response_to_line(exec.execute(*query));
+}
+
+bool LineChannel::read_line(std::string& line, std::size_t max_line) {
+  line.clear();
+  for (;;) {
+    while (buffer_pos_ < buffer_.size()) {
+      const char c = buffer_[buffer_pos_++];
+      if (c == '\n') return true;
+      line += c;
+      if (line.size() > max_line) return false;
+    }
+    char chunk[4096];
+    ssize_t got;
+    do {
+      got = ::read(fd_, chunk, sizeof(chunk));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return false;
+    buffer_.assign(chunk, static_cast<std::size_t>(got));
+    buffer_pos_ = 0;
+  }
+}
+
+bool LineChannel::write_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t wrote;
+    do {
+      wrote = ::write(fd_, framed.data() + sent, framed.size() - sent);
+    } while (wrote < 0 && errno == EINTR);
+    if (wrote <= 0) return false;
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace netemu

@@ -1,0 +1,55 @@
+#pragma once
+// Wire protocol: line-delimited JSON over a stream socket.
+//
+//   request-line  = JSON object, one line, '\n' terminated
+//   response-line = JSON object, one line, '\n' terminated
+//
+// Request ops: the four query kinds ("bandwidth", "estimate", "max_host",
+// "bounds" — see query.hpp for their fields) plus three control ops:
+//   {"op":"ping"}      -> {"ok":true,"result":{"pong":true}}
+//   {"op":"stats"}     -> executor + cache counters
+//   {"op":"shutdown"}  -> ack, then the daemon stops accepting
+//
+// Every response carries "ok"; successes carry "result", "cache_hit" and
+// "micros"; failures carry "error".  One connection may issue any number of
+// requests; responses come back in request order.
+
+#include <cstdint>
+#include <string>
+
+#include "netemu/service/executor.hpp"
+
+namespace netemu {
+
+/// Handle one request line (without trailing newline) against an executor.
+/// Returns the response line (without trailing newline).  If the request is
+/// a shutdown op and `shutdown_requested` is non-null, sets it.
+std::string handle_request_line(const std::string& line, QueryExecutor& exec,
+                                bool* shutdown_requested = nullptr);
+
+/// Serialize a Response into the response document text.  `result` is
+/// spliced in verbatim (it is already JSON), so the cached fast path never
+/// reparses.
+std::string response_to_line(const Response& r);
+
+/// Buffered line IO over a file descriptor (socket or pipe).
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Read up to and including the next '\n'; returns the line without it.
+  /// False on EOF or error.  Lines over max_line bytes abort the read.
+  bool read_line(std::string& line, std::size_t max_line = 1 << 20);
+
+  /// Write line + '\n', retrying on short writes.  False on error.
+  bool write_line(const std::string& line);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t buffer_pos_ = 0;
+};
+
+}  // namespace netemu

@@ -1,0 +1,308 @@
+#include "netemu/service/query.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "netemu/util/hash.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Canonical number rendering for key strings: integers without a fraction,
+/// everything else with enough digits to round-trip.
+void append_num(std::string& out, double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kBandwidth: return "bandwidth";
+    case QueryKind::kEstimate: return "estimate";
+    case QueryKind::kMaxHost: return "max_host";
+    case QueryKind::kBounds: return "bounds";
+  }
+  return "?";
+}
+
+std::optional<QueryKind> query_kind_from_name(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "bandwidth") return QueryKind::kBandwidth;
+  if (s == "estimate") return QueryKind::kEstimate;
+  if (s == "max_host" || s == "maxhost" || s == "max-host") {
+    return QueryKind::kMaxHost;
+  }
+  if (s == "bounds") return QueryKind::kBounds;
+  return std::nullopt;
+}
+
+const char* router_choice_name(RouterChoice r) {
+  switch (r) {
+    case RouterChoice::kDefault: return "default";
+    case RouterChoice::kBfs: return "bfs";
+    case RouterChoice::kValiant: return "valiant";
+  }
+  return "?";
+}
+
+std::optional<RouterChoice> router_from_name(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "default") return RouterChoice::kDefault;
+  if (s == "bfs") return RouterChoice::kBfs;
+  if (s == "valiant") return RouterChoice::kValiant;
+  return std::nullopt;
+}
+
+std::optional<TrafficKind> traffic_from_name(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "symmetric") return TrafficKind::kSymmetric;
+  if (s == "quasi-symmetric" || s == "quasi_symmetric" || s == "quasi") {
+    return TrafficKind::kQuasiSymmetric;
+  }
+  if (s == "permutation") return TrafficKind::kPermutation;
+  if (s == "bit-reversal" || s == "bit_reversal" || s == "bitrev") {
+    return TrafficKind::kBitReversal;
+  }
+  if (s == "transpose") return TrafficKind::kTranspose;
+  if (s == "hotspot") return TrafficKind::kHotspot;
+  return std::nullopt;
+}
+
+std::optional<Arbitration> arbitration_from_name(const std::string& name) {
+  const std::string s = lower(name);
+  if (s == "farthest-first" || s == "farthest_first" || s == "farthest") {
+    return Arbitration::kFarthestFirst;
+  }
+  if (s == "fifo") return Arbitration::kFifo;
+  if (s == "random") return Arbitration::kRandom;
+  return std::nullopt;
+}
+
+std::optional<FamilySpec> parse_family(const std::string& name) {
+  std::string base = name;
+  std::optional<unsigned> k;
+  std::size_t digits = 0;
+  while (digits < base.size() &&
+         std::isdigit(static_cast<unsigned char>(base[base.size() - 1 - digits]))) {
+    ++digits;
+  }
+  if (digits > 0 && digits < base.size()) {
+    k = static_cast<unsigned>(std::stoul(base.substr(base.size() - digits)));
+    base = base.substr(0, base.size() - digits);
+  }
+  const std::string want = lower(base);
+  for (Family f : all_families()) {
+    if (lower(family_name(f)) == want) {
+      // A dimension suffix only makes sense for dimensional families
+      // ("mesh2"); reject "ccc3" rather than silently dropping the 3.
+      if (k && !family_is_dimensional(f)) return std::nullopt;
+      return FamilySpec{f, k};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Query::canonical_string() const {
+  std::string s = query_kind_name(kind);
+  const auto field = [&s](const char* name) {
+    s += '|';
+    s += name;
+    s += '=';
+  };
+  field("family");
+  s += family_name(family);
+  if (family_is_dimensional(family)) {
+    field("k");
+    append_num(s, k);
+  }
+  switch (kind) {
+    case QueryKind::kBandwidth:
+      field("n");
+      append_num(s, n);
+      break;
+    case QueryKind::kEstimate:
+      field("n");
+      append_num(s, n);
+      field("router");
+      s += router_choice_name(router);
+      field("traffic");
+      s += traffic_kind_name(traffic);
+      field("arbitration");
+      s += arbitration_name(arbitration);
+      field("seed");
+      append_num(s, static_cast<double>(seed));
+      field("trials");
+      append_num(s, trials);
+      break;
+    case QueryKind::kMaxHost:
+    case QueryKind::kBounds:
+      field("n");
+      append_num(s, n);
+      field("host");
+      s += family_name(host_family);
+      if (family_is_dimensional(host_family)) {
+        field("host_k");
+        append_num(s, host_k);
+      }
+      if (kind == QueryKind::kBounds) {
+        field("m");
+        append_num(s, m);
+      }
+      break;
+  }
+  return s;
+}
+
+std::uint64_t Query::cache_key() const { return fnv1a64(canonical_string()); }
+
+std::optional<Query> query_from_json(const Json& request, std::string* error) {
+  const auto fail = [error](const std::string& msg) -> std::optional<Query> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!request.is_object()) return fail("request must be a JSON object");
+
+  Query q;
+  const Json& op = request["op"];
+  if (!op.is_string()) return fail("missing string field 'op'");
+  const auto kind = query_kind_from_name(op.as_string());
+  if (!kind) return fail("unknown op '" + op.as_string() + "'");
+  q.kind = *kind;
+
+  // "guest" is an accepted alias for "family" (natural on the two-machine
+  // kinds); when both are present, "guest" wins.
+  if (!request.contains("family") && !request.contains("guest")) {
+    return fail("missing field 'family'");
+  }
+  if (request.contains("family")) {
+    const auto spec = parse_family(request["family"].as_string());
+    if (!spec) {
+      return fail("unknown family '" + request["family"].as_string() + "'");
+    }
+    q.family = spec->family;
+    if (spec->k) q.k = *spec->k;
+  }
+  if (request.contains("guest")) {
+    const auto spec = parse_family(request["guest"].as_string());
+    if (!spec) {
+      return fail("unknown guest family '" + request["guest"].as_string() +
+                  "'");
+    }
+    q.family = spec->family;
+    if (spec->k) q.k = *spec->k;
+  }
+  if (request.contains("k")) {
+    const std::int64_t k = request["k"].as_int(-1);
+    if (k < 1 || k > 8) return fail("'k' must be in [1, 8]");
+    q.k = static_cast<unsigned>(k);
+  }
+  if (request.contains("n")) {
+    const double n = request["n"].as_number(-1.0);
+    if (!(n >= 2.0) || !std::isfinite(n)) return fail("'n' must be >= 2");
+    q.n = n;
+  }
+
+  if (q.kind == QueryKind::kMaxHost || q.kind == QueryKind::kBounds) {
+    if (!request.contains("host")) return fail("missing field 'host'");
+    const auto spec = parse_family(request["host"].as_string());
+    if (!spec) {
+      return fail("unknown host family '" + request["host"].as_string() + "'");
+    }
+    q.host_family = spec->family;
+    if (spec->k) q.host_k = *spec->k;
+    if (request.contains("host_k")) {
+      const std::int64_t hk = request["host_k"].as_int(-1);
+      if (hk < 1 || hk > 8) return fail("'host_k' must be in [1, 8]");
+      q.host_k = static_cast<unsigned>(hk);
+    }
+    if (request.contains("m")) {
+      const double m = request["m"].as_number(-1.0);
+      if (!(m >= 0.0) || !std::isfinite(m)) return fail("'m' must be >= 0");
+      q.m = m;
+    }
+  }
+
+  if (q.kind == QueryKind::kEstimate) {
+    if (q.n > 1e7) return fail("'n' too large for simulation (max 1e7)");
+    if (request.contains("router")) {
+      const auto r = router_from_name(request["router"].as_string());
+      if (!r) return fail("unknown router '" + request["router"].as_string() +
+                          "' (default|bfs|valiant)");
+      q.router = *r;
+    }
+    if (request.contains("traffic")) {
+      const auto t = traffic_from_name(request["traffic"].as_string());
+      if (!t) {
+        return fail("unknown traffic '" + request["traffic"].as_string() +
+                    "'");
+      }
+      q.traffic = *t;
+    }
+    if (request.contains("arbitration")) {
+      const auto a = arbitration_from_name(request["arbitration"].as_string());
+      if (!a) {
+        return fail("unknown arbitration '" +
+                    request["arbitration"].as_string() + "'");
+      }
+      q.arbitration = *a;
+    }
+    if (request.contains("seed")) q.seed = request["seed"].as_uint(1);
+    if (request.contains("trials")) {
+      const std::int64_t t = request["trials"].as_int(-1);
+      if (t < 1 || t > 64) return fail("'trials' must be in [1, 64]");
+      q.trials = static_cast<unsigned>(t);
+    }
+  }
+
+  if (request.contains("deadline_ms")) {
+    q.deadline_ms = request["deadline_ms"].as_uint(0);
+  }
+  if (error) error->clear();
+  return q;
+}
+
+Json query_to_json(const Query& q) {
+  Json doc = Json::object();
+  doc["op"] = query_kind_name(q.kind);
+  doc["family"] = family_name(q.family);
+  if (family_is_dimensional(q.family)) doc["k"] = q.k;
+  doc["n"] = q.n;
+  switch (q.kind) {
+    case QueryKind::kBandwidth:
+      break;
+    case QueryKind::kEstimate:
+      doc["router"] = router_choice_name(q.router);
+      doc["traffic"] = traffic_kind_name(q.traffic);
+      doc["arbitration"] = arbitration_name(q.arbitration);
+      doc["seed"] = q.seed;
+      doc["trials"] = q.trials;
+      break;
+    case QueryKind::kMaxHost:
+    case QueryKind::kBounds:
+      doc["host"] = family_name(q.host_family);
+      if (family_is_dimensional(q.host_family)) doc["host_k"] = q.host_k;
+      if (q.kind == QueryKind::kBounds) doc["m"] = q.m;
+      break;
+  }
+  if (q.deadline_ms > 0) doc["deadline_ms"] = q.deadline_ms;
+  return doc;
+}
+
+}  // namespace netemu

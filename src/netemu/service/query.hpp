@@ -1,0 +1,91 @@
+#pragma once
+// The planner service's query model.
+//
+// A Query is the parsed, *canonicalized* form of one request: enums instead
+// of strings, defaults filled in, and — crucially — a content address.
+// cache_key() hashes only the fields that can influence the answer of the
+// query's kind, each written in a canonical spelling, so that
+//   {"op":"bandwidth","family":"butterfly","seed":7}
+//   {"family":"Butterfly","op":"bandwidth"}
+// collide (seed cannot affect a closed-form lookup) while any change to a
+// field that does matter produces a different key.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netemu/routing/packet_sim.hpp"
+#include "netemu/topology/machine.hpp"
+#include "netemu/traffic/distribution.hpp"
+#include "netemu/util/json.hpp"
+
+namespace netemu {
+
+enum class QueryKind {
+  kBandwidth,  ///< closed-form beta/Lambda for a family at size n
+  kEstimate,   ///< empirical beta-hat via the packet simulator
+  kMaxHost,    ///< Tables 1-3 solver for one (guest, host) pair
+  kBounds,     ///< EET vs. Koch et al. baselines for (guest, host, m)
+};
+
+const char* query_kind_name(QueryKind k);
+std::optional<QueryKind> query_kind_from_name(const std::string& name);
+
+enum class RouterChoice { kDefault, kBfs, kValiant };
+
+const char* router_choice_name(RouterChoice r);
+
+struct Query {
+  QueryKind kind = QueryKind::kBandwidth;
+
+  // Guest machine (every kind).
+  Family family = Family::kButterfly;
+  unsigned k = 2;       ///< dimension, for dimensional families
+  double n = 1024.0;    ///< guest size |G| (estimate builds the nearest
+                        ///< legal instance)
+
+  // Host machine (max_host, bounds).
+  Family host_family = Family::kMesh;
+  unsigned host_k = 2;
+  double m = 0.0;       ///< host size |H|; 0 = solve for the maximum
+
+  // Simulation knobs (estimate only).
+  RouterChoice router = RouterChoice::kDefault;
+  TrafficKind traffic = TrafficKind::kSymmetric;
+  Arbitration arbitration = Arbitration::kFarthestFirst;
+  std::uint64_t seed = 1;
+  unsigned trials = 3;
+
+  // Per-request execution control — NOT part of the content address.
+  std::uint64_t deadline_ms = 0;  ///< 0 = executor default
+
+  /// Canonical key string: "kind|field=value|..." over exactly the fields
+  /// relevant to this kind, in fixed order.
+  std::string canonical_string() const;
+
+  /// 64-bit content address of canonical_string().
+  std::uint64_t cache_key() const;
+};
+
+/// Family lookup accepting the printed name in any case, plus a trailing
+/// dimension suffix for the dimensional families: "mesh2" -> (Mesh, k=2),
+/// "Pyramid3" -> (Pyramid, k=3).  Returns family and optional parsed k.
+struct FamilySpec {
+  Family family;
+  std::optional<unsigned> k;
+};
+std::optional<FamilySpec> parse_family(const std::string& name);
+
+std::optional<TrafficKind> traffic_from_name(const std::string& name);
+std::optional<Arbitration> arbitration_from_name(const std::string& name);
+std::optional<RouterChoice> router_from_name(const std::string& name);
+
+/// Build a Query from a request document ({"op": ..., fields...}).
+/// Returns nullopt and sets *error on malformed or out-of-range requests.
+std::optional<Query> query_from_json(const Json& request, std::string* error);
+
+/// The request document a Query round-trips to (canonical field spelling;
+/// only the fields relevant to the kind).  Used by the client and tests.
+Json query_to_json(const Query& q);
+
+}  // namespace netemu

@@ -1,0 +1,128 @@
+#include "netemu/service/result_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "netemu/util/hash.hpp"
+#include "netemu/util/json.hpp"
+
+namespace netemu {
+
+ResultCache::ResultCache(std::size_t capacity, std::string path)
+    : capacity_(capacity == 0 ? 1 : capacity), path_(std::move(path)) {}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(std::uint64_t key, std::string value) {
+  std::lock_guard lock(mutex_);
+  put_locked(key, std::move(value), /*front=*/true);
+}
+
+void ResultCache::put_locked(std::uint64_t key, std::string value,
+                             bool front) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    if (front) lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    // A cold (load-time) insert never displaces a live entry.
+    if (!front) return;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  if (front) {
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+  } else {
+    lru_.push_back(Entry{key, std::move(value)});
+    index_[key] = std::prev(lru_.end());
+  }
+}
+
+bool ResultCache::load() {
+  if (path_.empty()) return false;
+  std::ifstream in(path_);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const Json doc = Json::parse(buffer.str(), &error);
+  if (!error.empty() || !doc.is_object()) return false;
+  const Json& entries = doc["entries"];
+  if (!entries.is_array()) return false;
+
+  std::lock_guard lock(mutex_);
+  for (const Json& entry : entries.items()) {
+    std::uint64_t key = 0;
+    if (!parse_hex64(entry["key"].as_string(), key)) continue;
+    const Json& value = entry["value"];
+    if (!value.is_string()) continue;
+    // File entries enter at the cold end and never displace what the live
+    // process already cached.
+    if (index_.count(key)) continue;
+    put_locked(key, value.as_string(), /*front=*/false);
+  }
+  return true;
+}
+
+bool ResultCache::save() {
+  if (path_.empty()) return false;
+  Json doc = Json::object();
+  doc["format"] = "netemu-result-cache-v1";
+  Json entries = Json::array();
+  {
+    std::lock_guard lock(mutex_);
+    // Dump hot-to-cold: load() appends file entries in order at the cold
+    // end of an empty list, which reconstructs exactly this recency order.
+    for (const Entry& e : lru_) {
+      Json entry = Json::object();
+      entry["key"] = hex64(e.key);
+      entry["value"] = e.value;
+      entries.items().push_back(std::move(entry));
+    }
+  }
+  doc["entries"] = std::move(entries);
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << doc.dump() << "\n";
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace netemu

@@ -1,0 +1,70 @@
+#pragma once
+// Content-addressed result cache: an in-memory LRU layer over an optional
+// on-disk JSON file, keyed by Query::cache_key().
+//
+// Values are the serialized result documents (JSON text), so a cache hit is
+// a string copy — no recomputation, no re-serialization.  The disk file
+// holds every entry present in memory at save() time; load() merges the
+// file's entries as the cold end of the LRU, so a restarted daemon keeps its
+// expensive beta-hat estimates but evicts them first if the working set has
+// moved on.
+//
+// Thread-safe; every public method takes the internal mutex.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace netemu {
+
+class ResultCache {
+ public:
+  /// capacity = max resident entries (>= 1); path empty = memory-only.
+  explicit ResultCache(std::size_t capacity, std::string path = "");
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Lookup; refreshes LRU recency on hit.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void put(std::uint64_t key, std::string value);
+
+  /// Merge entries from the disk file (oldest recency; existing in-memory
+  /// entries win).  No-op and false when the file is absent or malformed.
+  bool load();
+
+  /// Write every resident entry to the disk file (atomic rename).  False
+  /// when the cache has no path or the write fails.
+  bool save();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  const std::string& path() const { return path_; }
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::string value;
+  };
+
+  void put_locked(std::uint64_t key, std::string value, bool front);
+
+  const std::size_t capacity_;
+  const std::string path_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace netemu

@@ -1,0 +1,156 @@
+#include "netemu/service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "netemu/service/protocol.hpp"
+
+namespace netemu {
+
+Server::Server(QueryExecutor& executor) : Server(executor, Options()) {}
+
+Server::Server(QueryExecutor& executor, Options options)
+    : executor_(executor), options_(options) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [this, error](const std::string& msg) {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = false;
+    stopped_ = false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (error) error->clear();
+  return true;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (stop) or fatal error: either way, stop accepting.
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(mutex_);
+    if (stop_requested_) {
+      ::close(fd);
+      return;
+    }
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  LineChannel channel(fd);
+  std::string line;
+  bool shutdown_requested = false;
+  while (!shutdown_requested && channel.read_line(line)) {
+    const std::string response =
+        handle_request_line(line, executor_, &shutdown_requested);
+    if (!channel.write_line(response)) break;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (auto it = open_fds_.begin(); it != open_fds_.end(); ++it) {
+      if (*it == fd) {
+        open_fds_.erase(it);
+        ::close(fd);
+        break;
+      }
+    }
+  }
+  if (shutdown_requested) request_stop();
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_requested_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock lock(mutex_);
+    stop_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+  }
+  stop();
+}
+
+void Server::stop() {
+  request_stop();
+
+  std::thread accept_thread;
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Closing the listener unblocks accept(); shutting down the connection
+    // sockets unblocks their readers.
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    accept_thread = std::move(accept_thread_);
+    connections = std::move(connections_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (auto& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  stop_cv_.notify_all();
+}
+
+bool Server::running() const {
+  std::lock_guard lock(mutex_);
+  return !stopped_ && !stop_requested_;
+}
+
+}  // namespace netemu

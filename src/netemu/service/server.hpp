@@ -1,0 +1,71 @@
+#pragma once
+// The planner daemon: a localhost TCP listener speaking the line protocol.
+//
+// Threading model: one accept thread plus one thread per live connection.
+// The executor underneath bounds actual compute concurrency (its pool and
+// admission queue), so connection threads are cheap — they mostly block on
+// socket reads or on a flight.  stop() (or a client's shutdown op followed
+// by wait()) closes the listener, shuts down every live connection socket,
+// and joins all threads; it is safe to call from any thread except a
+// connection handler.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netemu/service/executor.hpp"
+
+namespace netemu {
+
+class Server {
+ public:
+  struct Options {
+    std::uint16_t port = 7464;  ///< 0 = ephemeral (see port() after start)
+    int backlog = 64;
+  };
+
+  explicit Server(QueryExecutor& executor);  // all-default Options
+  Server(QueryExecutor& executor, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept thread.  False + *error on failure.
+  bool start(std::string* error = nullptr);
+
+  /// Actual bound port (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a client sends {"op":"shutdown"} or another thread calls
+  /// stop().  Returns after the server is fully stopped.
+  void wait();
+
+  /// Idempotent full stop: close listener and connections, join threads.
+  void stop();
+
+  bool running() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void request_stop();
+
+  QueryExecutor& executor_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = true;
+  std::thread accept_thread_;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace netemu

@@ -1,0 +1,28 @@
+#include "netemu/util/hash.hpp"
+
+namespace netemu {
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  out = 0;
+  for (const char c : s) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+  }
+  return true;
+}
+
+}  // namespace netemu

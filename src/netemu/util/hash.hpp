@@ -1,0 +1,38 @@
+#pragma once
+// Content hashing for the result cache: 64-bit FNV-1a over a canonical byte
+// string.  FNV-1a is not cryptographic — the cache key space is tiny (a few
+// enums and numbers under the caller's control), so accidental collision
+// resistance is all that is required, and the hash must be stable across
+// runs, platforms, and standard libraries (std::hash is none of those).
+
+#include <cstdint>
+#include <string>
+
+namespace netemu {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(const char* data, std::size_t len,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Fixed-width lowercase hex rendering (16 digits), the cache file's key
+/// format — u64 does not survive a trip through a JSON double.
+std::string hex64(std::uint64_t v);
+
+/// Inverse of hex64; returns false on malformed input.
+bool parse_hex64(const std::string& s, std::uint64_t& out);
+
+}  // namespace netemu

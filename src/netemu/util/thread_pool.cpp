@@ -15,22 +15,30 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Workers only exit once the queue is empty (see worker_loop), so joining
+  // here deterministically drains every task accepted before stopping_ flipped.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -73,7 +81,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + s * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    submit([lo, hi, &fn, &first_error, &error_mutex] {
+    const bool accepted = submit([lo, hi, &fn, &first_error, &error_mutex] {
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
@@ -81,6 +89,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         if (!first_error) first_error = std::current_exception();
       }
     });
+    if (!accepted) {
+      // Pool is shutting down: fall back to the calling thread so the loop
+      // still covers the full range.
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
   }
   wait_idle();
   if (first_error) std::rethrow_exception(first_error);

@@ -6,6 +6,12 @@
 // range, so a static block-cyclic parallel_for is all we need.  Tasks must
 // not throw across the pool boundary; exceptions are rethrown on the calling
 // thread after the loop completes (first one wins).
+//
+// Shutdown contract (the service daemon depends on it): shutdown() — and the
+// destructor, which calls it — DRAINS every task already accepted, then
+// joins the workers.  submit() after shutdown has begun is rejected (returns
+// false) rather than enqueued, so no task can be silently dropped and no
+// wait_idle() caller can hang on a task nobody will run.
 
 #include <condition_variable>
 #include <cstddef>
@@ -29,11 +35,16 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Submit a task; returns immediately.
-  void submit(std::function<void()> task);
+  /// Submit a task; returns immediately.  Returns false (and discards the
+  /// task) if shutdown has already begun.
+  bool submit(std::function<void()> task);
 
   /// Block until all submitted tasks have finished.
   void wait_idle();
+
+  /// Begin shutdown: reject new submissions, drain every accepted task, then
+  /// join the workers.  Idempotent; called by the destructor.
+  void shutdown();
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// Indices are split into contiguous blocks, one per worker slot, which is

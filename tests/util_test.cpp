@@ -214,6 +214,41 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  // Regression: the daemon path destroys pools that still hold queued work.
+  // Every accepted task must run before join — none dropped, none leaked.
+  auto ran = std::make_shared<std::atomic<int>>(0);
+  int accepted = 0;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      if (pool.submit([ran] { ran->fetch_add(1); })) ++accepted;
+    }
+    // Destroy immediately: most tasks are still queued.
+  }
+  EXPECT_EQ(accepted, 200);
+  EXPECT_EQ(ran->load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  bool ran = false;
+  EXPECT_FALSE(pool.submit([&ran] { ran = true; }));
+  EXPECT_FALSE(ran);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ParallelForWorksAfterShutdown) {
+  // A shut-down pool degrades parallel_for to the calling thread rather
+  // than silently skipping the range.
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ThreadPool, PropagatesException) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(0, 10,
