@@ -35,6 +35,7 @@ int usage(const std::string& program) {
          "  --trials T  --deadline-ms D\n"
          "  --local flags: --cache-file F (default netemu_cache.json)"
          "  --cache-capacity N\n"
+         "  --attempts N   transport retries per request (default 3)\n"
          "  families accept a dimension suffix: mesh2, pyramid3, ...\n";
   return 2;
 }
@@ -93,17 +94,24 @@ int main(int argc, char** argv) {
     // Executor destruction persists the (possibly grown) cache.
   } else {
     const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
-    Client client;
+    Client::RetryPolicy policy;
+    policy.max_attempts =
+        static_cast<int>(cli.get_int("attempts", policy.max_attempts));
+    Client client(policy);
     std::string error;
     if (!client.connect(port, &error)) {
       std::cerr << cli.program() << ": " << error
                 << "\n(start netemu_serve, or pass --local)\n";
       return 1;
     }
-    if (!client.request_raw(request.dump(), response_line)) {
-      std::cerr << cli.program() << ": transport failure\n";
+    // The retrying path: transport failures reconnect with backoff and
+    // "overloaded" responses honor the server's retry_after_ms hint.
+    const auto response = client.request(request, &error);
+    if (!response) {
+      std::cerr << cli.program() << ": " << error << "\n";
       return 1;
     }
+    response_line = response->dump();
   }
 
   std::cout << response_line << "\n";

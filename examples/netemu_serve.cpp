@@ -4,6 +4,7 @@
 //
 //   $ netemu_serve --port 7464 --cache-file netemu_cache.json
 //   $ netemu_serve --port 0            # ephemeral port, printed on stdout
+//   $ netemu_serve --fault-plan 'seed=7,drop=0.02,torn=0.3'   # chaos mode
 //
 // Stop with SIGINT/SIGTERM or a client {"op":"shutdown"}; either path
 // drains in-flight work and saves the cache.
@@ -12,8 +13,11 @@
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <thread>
 
+#include "netemu/faultline/fault_plan.hpp"
+#include "netemu/faultline/injector.hpp"
 #include "netemu/service/server.hpp"
 #include "netemu/util/cli.hpp"
 
@@ -36,6 +40,26 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("cache-capacity", 4096));
   exec_options.cache_file =
       cli.has("no-persist") ? "" : cli.get("cache-file", "netemu_cache.json");
+  exec_options.hang_timeout_ms =
+      static_cast<std::uint64_t>(cli.get_int("hang-timeout-ms", 60000));
+  exec_options.retry_after_hint_ms =
+      static_cast<std::uint64_t>(cli.get_int("retry-after-ms", 50));
+
+  // Chaos mode: inject a deterministic fault plan into the daemon's own
+  // sockets, workers, and cache writes (see docs/FAULTLINE.md).
+  std::unique_ptr<FaultInjector> injector;
+  const std::string plan_spec = cli.get("fault-plan");
+  if (!plan_spec.empty()) {
+    std::string plan_error;
+    const auto plan = FaultPlan::parse(plan_spec, &plan_error);
+    if (!plan) {
+      std::cerr << "netemu_serve: bad --fault-plan: " << plan_error << "\n";
+      return 1;
+    }
+    injector = std::make_unique<FaultInjector>(*plan);
+    exec_options.faults = injector.get();
+    std::cerr << "fault plan active: " << plan->spec() << "\n";
+  }
 
   QueryExecutor executor(exec_options);
   if (!exec_options.cache_file.empty()) {
@@ -45,6 +69,7 @@ int main(int argc, char** argv) {
 
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
+  server_options.faults = injector.get();
   Server server(executor, server_options);
   std::string error;
   if (!server.start(&error)) {
@@ -66,7 +91,16 @@ int main(int argc, char** argv) {
   std::cerr << "served " << s.requests << " requests (" << s.cache_hits
             << " cache hits, " << s.computed << " computed, "
             << s.dedup_joins << " dedup joins, " << s.rejected
-            << " rejected)\n";
+            << " rejected, " << s.hung << " hung, " << s.stale_served
+            << " stale)\n";
+  if (injector) {
+    const FaultInjector::Counts c = injector->counts();
+    std::cerr << "faults injected: " << c.total() << " (" << c.drops
+              << " drops, " << c.shorts << " shorts, " << c.slows
+              << " slows, " << c.disk_fails << " disk fails, "
+              << c.torn_writes << " torn writes, " << c.stalls
+              << " stalls)\n";
+  }
   executor.save_cache();
   return 0;
 }

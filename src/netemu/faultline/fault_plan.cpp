@@ -1,0 +1,144 @@
+#include "netemu/faultline/fault_plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+namespace {
+
+void append_prob(std::string& out, const char* key, double p) {
+  if (p <= 0.0) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",%s=%g", key, p);
+  out += buf;
+}
+
+void append_timed(std::string& out, const char* key, double p,
+                  std::uint32_t ms) {
+  if (p <= 0.0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",%s=%g:%u", key, p, ms);
+  out += buf;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && std::isfinite(out);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return drop_p > 0.0 || partial_p > 0.0 || slow_p > 0.0 ||
+         disk_fail_p > 0.0 || torn_p > 0.0 || stall_p > 0.0;
+}
+
+std::string FaultPlan::spec() const {
+  std::string out = "seed=" + std::to_string(seed);
+  append_prob(out, "drop", drop_p);
+  append_prob(out, "partial", partial_p);
+  append_timed(out, "slow", slow_p, slow_ms);
+  append_prob(out, "disk_fail", disk_fail_p);
+  append_prob(out, "torn", torn_p);
+  append_timed(out, "stall", stall_p, stall_ms);
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  const auto fail = [error](const std::string& msg) -> std::optional<FaultPlan> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return fail("fault plan: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      if (!parse_u64(value, plan.seed)) {
+        return fail("fault plan: bad seed '" + value + "'");
+      }
+      continue;
+    }
+
+    // Timed faults accept "p:ms"; everything else is a bare probability.
+    std::uint32_t* ms_field = nullptr;
+    double* p_field = nullptr;
+    if (key == "drop") p_field = &plan.drop_p;
+    else if (key == "partial") p_field = &plan.partial_p;
+    else if (key == "disk_fail") p_field = &plan.disk_fail_p;
+    else if (key == "torn") p_field = &plan.torn_p;
+    else if (key == "slow") { p_field = &plan.slow_p; ms_field = &plan.slow_ms; }
+    else if (key == "stall") { p_field = &plan.stall_p; ms_field = &plan.stall_ms; }
+    else return fail("fault plan: unknown key '" + key + "'");
+
+    const std::size_t colon = value.find(':');
+    if (colon != std::string::npos) {
+      if (!ms_field) {
+        return fail("fault plan: '" + key + "' does not take a duration");
+      }
+      std::uint64_t ms = 0;
+      if (!parse_u64(value.substr(colon + 1), ms) || ms > 60000) {
+        return fail("fault plan: bad duration in '" + token + "'");
+      }
+      *ms_field = static_cast<std::uint32_t>(ms);
+      value = value.substr(0, colon);
+    }
+    double p = 0.0;
+    if (!parse_double(value, p) || p < 0.0 || p > 1.0) {
+      return fail("fault plan: '" + key + "' needs a probability in [0, 1]");
+    }
+    *p_field = p;
+  }
+  if (error) error->clear();
+  return plan;
+}
+
+FaultPlan FaultPlan::for_seed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // splitmix64 gives independent draws for nearby seeds; each fault gets a
+  // moderate probability band so every kind fires during a short soak.
+  std::uint64_t s = seed ^ 0xfa017113e5eedULL;
+  const auto draw = [&s](double lo, double hi) {
+    const double u = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+  };
+  plan.drop_p = draw(0.005, 0.03);
+  plan.partial_p = draw(0.10, 0.40);
+  plan.slow_p = draw(0.01, 0.05);
+  plan.slow_ms = 1;
+  plan.disk_fail_p = draw(0.10, 0.30);
+  plan.torn_p = draw(0.20, 0.50);
+  plan.stall_p = draw(0.02, 0.08);
+  plan.stall_ms = static_cast<std::uint32_t>(1 + splitmix64(s) % 5);
+  return plan;
+}
+
+}  // namespace netemu

@@ -1,0 +1,73 @@
+#include "netemu/faultline/injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace netemu {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+FaultInjector::IoFault FaultInjector::on_io(std::size_t& len) {
+  std::uint32_t sleep_ms = 0;
+  IoFault fault = IoFault::kNone;
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.drop_p > 0.0 && rng_.chance(plan_.drop_p)) {
+      ++counts_.drops;
+      return IoFault::kDrop;
+    }
+    if (plan_.slow_p > 0.0 && rng_.chance(plan_.slow_p)) {
+      ++counts_.slows;
+      sleep_ms = plan_.slow_ms;
+    }
+    if (plan_.partial_p > 0.0 && len > 1 && rng_.chance(plan_.partial_p)) {
+      ++counts_.shorts;
+      // Clamp to a 1..min(len-1, 16) byte transfer: small enough to force
+      // the caller's short-I/O loop through many iterations per line.
+      const std::uint64_t cap = std::min<std::uint64_t>(len - 1, 16);
+      len = static_cast<std::size_t>(1 + rng_.below(cap));
+    }
+  }
+  // Sleep outside the lock so a slow op never serializes other hook sites.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fault;
+}
+
+FaultInjector::DiskFault FaultInjector::on_disk_write(double& torn_fraction) {
+  std::lock_guard lock(mutex_);
+  if (plan_.disk_fail_p > 0.0 && rng_.chance(plan_.disk_fail_p)) {
+    ++counts_.disk_fails;
+    return DiskFault::kFail;
+  }
+  if (plan_.torn_p > 0.0 && rng_.chance(plan_.torn_p)) {
+    ++counts_.torn_writes;
+    torn_fraction = 0.05 + 0.9 * rng_.uniform();
+    return DiskFault::kTorn;
+  }
+  return DiskFault::kNone;
+}
+
+void FaultInjector::on_compute() {
+  bool stall = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.stall_p > 0.0 && rng_.chance(plan_.stall_p)) {
+      ++counts_.stalls;
+      stall = true;
+    }
+  }
+  if (stall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+  }
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+}  // namespace netemu

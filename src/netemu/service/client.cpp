@@ -4,17 +4,30 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <memory>
+#include <thread>
 
 #include "netemu/service/protocol.hpp"
 
 namespace netemu {
 
-Client::Client() = default;
+Client::Client() : Client(RetryPolicy()) {}
+
+Client::Client(RetryPolicy policy)
+    : policy_(policy),
+      jitter_(policy.jitter_seed != 0
+                  ? policy.jitter_seed
+                  : reinterpret_cast<std::uintptr_t>(this) ^
+                        0x9E3779B97F4A7C15ULL) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
 
 Client::~Client() { close(); }
 
@@ -24,6 +37,11 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void Client::set_fault_injector(FaultInjector* injector) {
+  faults_ = injector;
+  if (channel_) channel_->set_fault_injector(injector);
 }
 
 bool Client::connect(std::uint16_t port, std::string* error) {
@@ -47,8 +65,43 @@ bool Client::connect(std::uint16_t port, std::string* error) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (policy_.attempt_timeout_ms > 0) {
+    // A per-attempt socket timeout turns a hung server into a transport
+    // failure the retry loop can handle, instead of blocking forever.
+    timeval tv{};
+    tv.tv_sec = policy_.attempt_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(policy_.attempt_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  port_ = port;
   if (error) error->clear();
   return true;
+}
+
+bool Client::reconnect(std::string* error) {
+  if (port_ == 0) {
+    if (error) *error = "not connected (no port to reconnect to)";
+    return false;
+  }
+  return connect(port_, error);
+}
+
+void Client::backoff_sleep(int retry_index, std::uint64_t hint_ms) {
+  // Exponential growth from the base, capped, plus up to 50% jitter so a
+  // herd of retrying clients decorrelates.  A server-provided hint
+  // (retry_after_ms) overrides the exponential schedule but keeps jitter.
+  std::uint64_t ms = hint_ms;
+  if (ms == 0) {
+    ms = policy_.base_backoff_ms;
+    for (int i = 0; i < retry_index && ms < policy_.max_backoff_ms; ++i) {
+      ms *= 2;
+    }
+  }
+  ms = std::min<std::uint64_t>(ms, policy_.max_backoff_ms);
+  if (ms == 0) return;
+  ms += jitter_.below(ms / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 bool Client::request_raw(const std::string& request_line,
@@ -56,26 +109,62 @@ bool Client::request_raw(const std::string& request_line,
   if (fd_ < 0) return false;
   // A fresh LineChannel per request would lose buffered bytes between
   // requests; keep one per connection.
-  if (!channel_) channel_ = std::make_unique<LineChannel>(fd_);
+  if (!channel_) {
+    channel_ = std::make_unique<LineChannel>(fd_);
+    channel_->set_fault_injector(faults_);
+  }
   if (!channel_->write_line(request_line)) return false;
   return channel_->read_line(response_line);
 }
 
 std::optional<Json> Client::request(const Json& request_doc,
                                     std::string* error) {
+  const std::string request_line = request_doc.dump();
   std::string response_line;
-  if (!request_raw(request_doc.dump(), response_line)) {
-    if (error) *error = "transport failure (daemon gone?)";
-    return std::nullopt;
+  std::string last_error = "not connected";
+
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    // Count the retry and back off only when another attempt follows.
+    const auto retry_after = [&](std::uint64_t hint_ms) {
+      if (attempt < policy_.max_attempts) {
+        ++retries_;
+        backoff_sleep(attempt - 1, hint_ms);
+      }
+    };
+    if (fd_ < 0 && !reconnect(&last_error)) {
+      retry_after(0);
+      continue;
+    }
+    if (!request_raw(request_line, response_line)) {
+      last_error = "transport failure (daemon gone?)";
+      close();  // the stream may be desynced; retry on a fresh connection
+      retry_after(0);
+      continue;
+    }
+    std::string parse_error;
+    Json doc = Json::parse(response_line, &parse_error);
+    if (!parse_error.empty()) {
+      last_error = "bad response: " + parse_error;
+      close();
+      retry_after(0);
+      continue;
+    }
+    if (!doc["ok"].as_bool() && doc["overloaded"].as_bool() &&
+        policy_.retry_overloaded && attempt < policy_.max_attempts) {
+      // Shed by admission control: the connection is fine, the server is
+      // just full.  Honor its hint, then try again without reconnecting.
+      last_error = doc["error"].as_string();
+      retry_after(doc["retry_after_ms"].as_uint(0));
+      continue;
+    }
+    if (error) error->clear();
+    return doc;
   }
-  std::string parse_error;
-  Json doc = Json::parse(response_line, &parse_error);
-  if (!parse_error.empty()) {
-    if (error) *error = "bad response: " + parse_error;
-    return std::nullopt;
+  if (error) {
+    *error = last_error + " (after " + std::to_string(policy_.max_attempts) +
+             " attempts)";
   }
-  if (error) error->clear();
-  return doc;
+  return std::nullopt;
 }
 
 }  // namespace netemu

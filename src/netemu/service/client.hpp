@@ -2,6 +2,14 @@
 // Blocking client for the planner daemon: connect, send request documents,
 // read response documents.  One Client per connection; not thread-safe
 // (the protocol is request/response in order on one socket).
+//
+// Resilience: request() retries transport failures (connection drops, torn
+// responses, per-attempt timeouts) on a fresh connection with exponential
+// backoff + deterministic jitter, and honors the server's "overloaded"
+// shedding responses (sleeping the suggested retry_after_ms before trying
+// again).  Retrying is safe because every query op is idempotent — results
+// are content-addressed, so a request whose response was lost re-reads the
+// same address.  request_raw() stays a single-attempt fast path.
 
 #include <cstdint>
 #include <memory>
@@ -9,35 +17,68 @@
 #include <string>
 
 #include "netemu/util/json.hpp"
+#include "netemu/util/prng.hpp"
 
 namespace netemu {
 
 class LineChannel;
+class FaultInjector;
 
 class Client {
  public:
+  struct RetryPolicy {
+    int max_attempts = 3;  ///< total attempts per request() (>= 1)
+    std::uint32_t base_backoff_ms = 10;   ///< first retry delay
+    std::uint32_t max_backoff_ms = 500;   ///< exponential growth cap
+    std::uint32_t attempt_timeout_ms = 0; ///< per-attempt socket send/recv
+                                          ///< timeout; 0 = none
+    bool retry_overloaded = true;  ///< retry shed responses after their hint
+    std::uint64_t jitter_seed = 0; ///< 0 = derived per client
+  };
+
   Client();
+  explicit Client(RetryPolicy policy);
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Connect to the daemon at 127.0.0.1:port.  False + *error on failure.
+  /// The port is remembered so retries can reconnect.
   bool connect(std::uint16_t port, std::string* error = nullptr);
 
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Send one request document, block for the response document.
-  /// Returns nullopt + *error on transport or parse failure.
+  /// Send one request document, block for the response document, retrying
+  /// per the policy.  Returns nullopt + *error when every attempt failed.
   std::optional<Json> request(const Json& request_doc,
                               std::string* error = nullptr);
 
   /// Raw variant: exchange pre-serialized lines (the bench's hot loop).
+  /// Single attempt, no retries.
   bool request_raw(const std::string& request_line, std::string& response_line);
 
+  /// Transport-level retries performed by request() so far (reconnects and
+  /// overload backoffs both count).
+  std::uint64_t retries() const { return retries_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Route this client's socket I/O through a fault injector (chaos
+  /// testing).  Not owned; must outlive the client.  nullptr disables.
+  void set_fault_injector(FaultInjector* injector);
+
  private:
+  bool reconnect(std::string* error);
+  void backoff_sleep(int retry_index, std::uint64_t hint_ms);
+
+  RetryPolicy policy_;
+  Prng jitter_;
   int fd_ = -1;
+  std::uint16_t port_ = 0;  ///< last successful connect target
+  std::uint64_t retries_ = 0;
+  FaultInjector* faults_ = nullptr;
   std::unique_ptr<LineChannel> channel_;  // persists read buffer across requests
 };
 

@@ -1,8 +1,10 @@
 #include "netemu/service/executor.hpp"
 
-#include <chrono>
+#include <algorithm>
 #include <exception>
+#include <vector>
 
+#include "netemu/faultline/injector.hpp"
 #include "netemu/service/planner.hpp"
 
 namespace netemu {
@@ -23,14 +25,69 @@ QueryExecutor::QueryExecutor(Options options)
       cache_(options_.cache_capacity, options_.cache_file),
       pool_(options_.threads) {
   if (!options_.compute) options_.compute = plan_query;
+  if (options_.faults) cache_.set_fault_injector(options_.faults);
   if (options_.load_cache && !options_.cache_file.empty()) cache_.load();
+  if (options_.hang_timeout_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // Drain in-flight work first so every accepted computation lands in the
   // cache before it is persisted.
   pool_.shutdown();
   if (!options_.cache_file.empty()) cache_.save();
+}
+
+void QueryExecutor::watchdog_loop() {
+  const auto timeout = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, options_.hang_timeout_ms));
+  const auto tick = std::chrono::milliseconds(std::clamp<std::uint64_t>(
+      options_.hang_timeout_ms / 4, 1, 100));
+  std::unique_lock lock(mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, tick, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = Clock::now();
+    std::vector<std::shared_ptr<Flight>> hung;
+    for (auto it = flights_.begin(); it != flights_.end();) {
+      Flight& f = *it->second;
+      if (!f.abandoned && now - f.started > timeout) {
+        f.abandoned = true;
+        ++stats_.hung;
+        --pending_;  // free the admission slot its leader occupied
+        hung.push_back(it->second);
+        it = flights_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (hung.empty()) continue;
+    // Publish outside the executor lock: waiters take flight->mutex while
+    // never holding mutex_, and the stuck compute task publishes the same
+    // way when (if) it finishes — its publish is a no-op once done is set.
+    lock.unlock();
+    for (const auto& flight : hung) {
+      {
+        std::lock_guard flight_lock(flight->mutex);
+        if (!flight->done) {
+          flight->response.ok = false;
+          flight->response.error =
+              "query hung: cancelled by watchdog after " +
+              std::to_string(options_.hang_timeout_ms) + " ms";
+          flight->done = true;
+        }
+      }
+      flight->cv.notify_all();
+    }
+    lock.lock();
+  }
 }
 
 Response QueryExecutor::execute(const Query& q) {
@@ -40,15 +97,19 @@ Response QueryExecutor::execute(const Query& q) {
   Response response;
   response.key = key;
 
-  if (auto cached = cache_.get(key)) {
-    std::lock_guard lock(mutex_);
-    ++stats_.requests;
-    ++stats_.cache_hits;
-    response.ok = true;
-    response.cache_hit = true;
-    response.result = std::move(*cached);
-    response.micros = micros_since(start);
-    return response;
+  // refresh=true forces a recompute: skip the cache read but keep every
+  // other gate (single-flight, admission, deadline).
+  if (!q.refresh) {
+    if (auto cached = cache_.get(key)) {
+      std::lock_guard lock(mutex_);
+      ++stats_.requests;
+      ++stats_.cache_hits;
+      response.ok = true;
+      response.cache_hit = true;
+      response.result = std::move(*cached);
+      response.micros = micros_since(start);
+      return response;
+    }
   }
 
   std::shared_ptr<Flight> flight;
@@ -64,10 +125,13 @@ Response QueryExecutor::execute(const Query& q) {
       if (pending_ >= options_.max_queue) {
         ++stats_.rejected;
         response.error = "overloaded: admission queue full";
+        response.overloaded = true;
+        response.retry_after_ms = options_.retry_after_hint_ms;
         response.micros = micros_since(start);
         return response;
       }
       flight = std::make_shared<Flight>();
+      flight->started = start;
       flights_[key] = flight;
       ++pending_;
       leader = true;
@@ -77,6 +141,7 @@ Response QueryExecutor::execute(const Query& q) {
   if (leader) {
     const Query task_query = q;
     const bool accepted = pool_.submit([this, task_query, key, flight] {
+      if (options_.faults) options_.faults->on_compute();
       Response computed;
       computed.key = key;
       try {
@@ -87,38 +152,66 @@ Response QueryExecutor::execute(const Query& q) {
       } catch (...) {
         computed.error = "unknown planner failure";
       }
+      // A failed recompute falls back to the previous cached value so a
+      // transient planner fault degrades to slightly-stale instead of down.
+      if (!computed.ok && options_.serve_stale_on_error) {
+        if (auto stale = cache_.get(key)) {
+          computed.ok = true;
+          computed.stale = true;
+          computed.error.clear();
+          computed.result = std::move(*stale);
+        }
+      }
       {
         std::lock_guard lock(mutex_);
-        if (computed.ok) {
+        if (computed.stale) {
+          ++stats_.errors;
+          ++stats_.stale_served;
+        } else if (computed.ok) {
           ++stats_.computed;
         } else {
           ++stats_.errors;
         }
-        flights_.erase(key);
-        --pending_;
+        // The watchdog may have abandoned this flight (erasing it and
+        // freeing its slot); only unregister what is still registered, and
+        // never double-decrement pending_.
+        const auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight) {
+          flights_.erase(it);
+          --pending_;
+        }
       }
       // Errors are not cached: a transient failure should not poison the
-      // content address forever.
-      if (computed.ok) cache_.put(key, computed.result);
+      // content address forever.  (Stale fallbacks are already in cache.)
+      if (computed.ok && !computed.stale) cache_.put(key, computed.result);
       {
         std::lock_guard flight_lock(flight->mutex);
-        flight->response = std::move(computed);
-        flight->done = true;
+        // If the watchdog already published a "hung" error, the waiters are
+        // gone; leave their response alone.
+        if (!flight->done) {
+          flight->response = std::move(computed);
+          flight->done = true;
+        }
       }
       flight->cv.notify_all();
     });
     if (!accepted) {
       {
         std::lock_guard lock(mutex_);
-        flights_.erase(key);
-        --pending_;
+        const auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight) {
+          flights_.erase(it);
+          --pending_;
+        }
         ++stats_.rejected;
       }
       // Wake any follower that joined between registration and rejection.
       {
         std::lock_guard flight_lock(flight->mutex);
-        flight->response.error = "executor shutting down";
-        flight->done = true;
+        if (!flight->done) {
+          flight->response.error = "executor shutting down";
+          flight->done = true;
+        }
       }
       flight->cv.notify_all();
       response.error = "executor shutting down";
@@ -154,6 +247,20 @@ Response QueryExecutor::execute(const Query& q) {
 QueryExecutor::Stats QueryExecutor::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+std::size_t QueryExecutor::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+std::size_t QueryExecutor::active_flights() const {
+  std::lock_guard lock(mutex_);
+  return flights_.size();
+}
+
+double QueryExecutor::uptime_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - started_).count();
 }
 
 }  // namespace netemu

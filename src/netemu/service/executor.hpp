@@ -4,7 +4,8 @@
 //   execute(query)
 //     ├─ cache hit  ──────────────────────────────► O(1) answer
 //     ├─ identical query already in flight ───────► join it (single-flight)
-//     ├─ admission queue full ────────────────────► rejected (backpressure)
+//     ├─ admission queue full ────────────────────► shed: "overloaded" +
+//     │                                             retry_after_ms hint
 //     └─ otherwise: run plan_query() on the pool, publish to every waiter,
 //        store the result under its content address.
 //
@@ -13,7 +14,18 @@
 // one packet simulation; the rest block on the flight and share its result.
 // Waiters honor a per-query deadline — a timed-out waiter gets an error
 // response, but the computation still completes and still fills the cache.
+//
+// Resilience (netemu::faultline integration):
+//  * a watchdog thread cancels flights older than hang_timeout_ms — waiters
+//    get a "hung" error, the admission slot is freed immediately, and the
+//    stuck computation (which cannot be killed) still fills the cache if it
+//    ever finishes, instead of leaking its flight entry forever;
+//  * serve_stale_on_error: a recompute (refresh=true) that fails falls back
+//    to the previous cached value, marked stale, instead of erroring;
+//  * Options::faults routes worker stalls from a FaultInjector into the
+//    compute path, so chaos tests exercise all of the above.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -21,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "netemu/service/query.hpp"
 #include "netemu/service/result_cache.hpp"
@@ -29,12 +42,17 @@
 
 namespace netemu {
 
+class FaultInjector;
+
 struct Response {
   bool ok = false;
   bool cache_hit = false;
+  bool stale = false;       ///< served from cache after a recompute failure
+  bool overloaded = false;  ///< shed by admission control (when !ok)
   std::string error;        ///< set when !ok
   std::string result;       ///< serialized result document (when ok)
   std::uint64_t key = 0;    ///< content address of the query
+  std::uint64_t retry_after_ms = 0;  ///< backoff hint (when overloaded)
   double micros = 0.0;      ///< wall time inside execute()
 };
 
@@ -47,6 +65,17 @@ class QueryExecutor {
     std::size_t cache_capacity = 4096;
     std::string cache_file;         ///< empty = memory-only cache
     bool load_cache = true;         ///< load cache_file on construction
+    /// Flights older than this are cancelled by the watchdog (waiters get
+    /// an error, the admission slot is freed).  0 disables the watchdog.
+    std::uint64_t hang_timeout_ms = 0;
+    /// Backoff hint attached to shed ("overloaded") responses.
+    std::uint64_t retry_after_hint_ms = 50;
+    /// When a forced recompute fails, serve the previous cached value
+    /// (marked stale) instead of the error.
+    bool serve_stale_on_error = true;
+    /// Fault injector for chaos testing (worker stalls + cache disk
+    /// faults).  Not owned; must outlive the executor.  nullptr disables.
+    FaultInjector* faults = nullptr;
     /// Compute function; defaults to plan_query.  Tests inject counters and
     /// slow functions here.
     std::function<Json(const Query&)> compute;
@@ -60,7 +89,7 @@ class QueryExecutor {
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   /// Blocking: returns when the answer is available, the deadline passes,
-  /// or the request is rejected.
+  /// the watchdog cancels the flight, or the request is shed.
   Response execute(const Query& q);
 
   struct Stats {
@@ -68,31 +97,54 @@ class QueryExecutor {
     std::uint64_t cache_hits = 0;
     std::uint64_t computed = 0;        ///< plan_query invocations
     std::uint64_t dedup_joins = 0;     ///< requests that joined a flight
-    std::uint64_t rejected = 0;        ///< admission-queue overflow
+    std::uint64_t rejected = 0;        ///< shed by admission control
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t errors = 0;          ///< compute failures
+    std::uint64_t hung = 0;            ///< flights cancelled by the watchdog
+    std::uint64_t stale_served = 0;    ///< recompute failures served stale
   };
   Stats stats() const;
 
+  /// Queries queued or running (the admission counter).
+  std::size_t pending() const;
+  /// Flights currently registered (single-flight map size).
+  std::size_t active_flights() const;
+  /// Seconds since construction (for the health report).
+  double uptime_seconds() const;
+
+  const Options& options() const { return options_; }
+
   ResultCache& cache() { return cache_; }
+  ThreadPool& pool() { return pool_; }
   /// Persist the cache to its file (no-op without one).
   bool save_cache() { return cache_.save(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Flight {
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
     Response response;
+    Clock::time_point started;  // immutable after creation
+    bool abandoned = false;     // guarded by the executor mutex_
   };
+
+  void watchdog_loop();
 
   Options options_;
   ResultCache cache_;
+  const Clock::time_point started_ = Clock::now();
 
   mutable std::mutex mutex_;  // guards flights_, pending_, stats_
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t pending_ = 0;
   Stats stats_;
+
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by mutex_
+  std::thread watchdog_;
 
   // Declared last: destroyed (drained) first, while cache_ and flights_ are
   // still alive for in-flight tasks to publish into.

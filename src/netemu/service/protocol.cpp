@@ -1,10 +1,12 @@
 #include "netemu/service/protocol.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 
+#include "netemu/faultline/injector.hpp"
 #include "netemu/util/hash.hpp"
 
 namespace netemu {
@@ -28,6 +30,8 @@ std::string stats_line(QueryExecutor& exec) {
   result["rejected"] = s.rejected;
   result["deadline_exceeded"] = s.deadline_exceeded;
   result["errors"] = s.errors;
+  result["hung"] = s.hung;
+  result["stale_served"] = s.stale_served;
   Json cache = Json::object();
   cache["size"] = exec.cache().size();
   cache["capacity"] = exec.cache().capacity();
@@ -40,7 +44,53 @@ std::string stats_line(QueryExecutor& exec) {
   return doc.dump();
 }
 
+std::string health_line(QueryExecutor& exec) {
+  const QueryExecutor::Stats s = exec.stats();
+  const std::size_t pending = exec.pending();
+  const std::size_t max_queue = exec.options().max_queue;
+
+  Json pool = Json::object();
+  pool["threads"] = exec.pool().size();
+  pool["pending"] = pending;
+  pool["max_queue"] = max_queue;
+
+  Json cache = Json::object();
+  cache["size"] = exec.cache().size();
+  cache["capacity"] = exec.cache().capacity();
+  cache["hits"] = exec.cache().hits();
+  cache["misses"] = exec.cache().misses();
+  cache["corrupt_entries"] = exec.cache().corrupt_entries();
+  cache["save_failures"] = exec.cache().save_failures();
+  cache["persistent"] = !exec.cache().path().empty();
+
+  Json shed = Json::object();
+  shed["rejected"] = s.rejected;
+  shed["retry_after_ms"] = exec.options().retry_after_hint_ms;
+
+  Json flights = Json::object();
+  flights["active"] = exec.active_flights();
+  flights["hung"] = s.hung;
+  flights["stale_served"] = s.stale_served;
+
+  Json result = Json::object();
+  result["status"] = pending >= max_queue ? "overloaded" : "ok";
+  result["uptime_s"] = exec.uptime_seconds();
+  result["pool"] = std::move(pool);
+  result["cache"] = std::move(cache);
+  result["shed"] = std::move(shed);
+  result["flights"] = std::move(flights);
+
+  Json doc = Json::object();
+  doc["ok"] = true;
+  doc["result"] = std::move(result);
+  return doc.dump();
+}
+
 }  // namespace
+
+std::string protocol_error_line(const std::string& message) {
+  return error_line("protocol_error: " + message);
+}
 
 std::string response_to_line(const Response& r) {
   if (!r.ok) {
@@ -49,6 +99,10 @@ std::string response_to_line(const Response& r) {
     doc["error"] = r.error;
     doc["key"] = hex64(r.key);
     doc["micros"] = r.micros;
+    if (r.overloaded) {
+      doc["overloaded"] = true;
+      doc["retry_after_ms"] = r.retry_after_ms;
+    }
     return doc.dump();
   }
   // Hand-assembled so the (hot) cached path splices the stored result text
@@ -63,6 +117,7 @@ std::string response_to_line(const Response& r) {
   line += buf;
   line += ",\"ok\":true,\"result\":";
   line += r.result;
+  if (r.stale) line += ",\"stale\":true";
   line += "}";
   return line;
 }
@@ -84,6 +139,7 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
     return doc.dump();
   }
   if (op == "stats") return stats_line(exec);
+  if (op == "health") return health_line(exec);
   if (op == "shutdown") {
     if (shutdown_requested) *shutdown_requested = true;
     Json doc = Json::object();
@@ -99,21 +155,37 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
   return response_to_line(exec.execute(*query));
 }
 
-bool LineChannel::read_line(std::string& line, std::size_t max_line) {
+LineChannel::Status LineChannel::read_line_status(std::string& line,
+                                                  std::size_t max_line) {
   line.clear();
+  bool overlong = false;
   for (;;) {
     while (buffer_pos_ < buffer_.size()) {
       const char c = buffer_[buffer_pos_++];
-      if (c == '\n') return true;
+      if (c == '\n') return overlong ? Status::kTooLong : Status::kOk;
+      if (overlong) continue;  // discard the rest of the oversized line
       line += c;
-      if (line.size() > max_line) return false;
+      if (line.size() > max_line) {
+        // Cap memory but keep consuming to the newline so the stream
+        // resyncs and the caller can answer with a protocol error.
+        line.clear();
+        overlong = true;
+      }
     }
     char chunk[4096];
+    std::size_t want = sizeof(chunk);
+    if (faults_ && faults_->on_io(want) == FaultInjector::IoFault::kDrop) {
+      return Status::kError;
+    }
     ssize_t got;
     do {
-      got = ::read(fd_, chunk, sizeof(chunk));
+      got = ::read(fd_, chunk, want);
     } while (got < 0 && errno == EINTR);
-    if (got <= 0) return false;
+    if (got == 0) {
+      // Clean EOF only at a line boundary; mid-line it is a torn request.
+      return line.empty() && !overlong ? Status::kEof : Status::kError;
+    }
+    if (got < 0) return Status::kError;
     buffer_.assign(chunk, static_cast<std::size_t>(got));
     buffer_pos_ = 0;
   }
@@ -124,9 +196,19 @@ bool LineChannel::write_line(const std::string& line) {
   framed += '\n';
   std::size_t sent = 0;
   while (sent < framed.size()) {
+    std::size_t want = framed.size() - sent;
+    if (faults_ && faults_->on_io(want) == FaultInjector::IoFault::kDrop) {
+      return false;
+    }
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as an
+    // EPIPE error (retryable), not a process-killing SIGPIPE.  Non-socket
+    // fds (pipes in tests) fall back to write().
     ssize_t wrote;
     do {
-      wrote = ::write(fd_, framed.data() + sent, framed.size() - sent);
+      wrote = ::send(fd_, framed.data() + sent, want, MSG_NOSIGNAL);
+      if (wrote < 0 && errno == ENOTSOCK) {
+        wrote = ::write(fd_, framed.data() + sent, want);
+      }
     } while (wrote < 0 && errno == EINTR);
     if (wrote <= 0) return false;
     sent += static_cast<std::size_t>(wrote);

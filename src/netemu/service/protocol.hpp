@@ -5,14 +5,19 @@
 //   response-line = JSON object, one line, '\n' terminated
 //
 // Request ops: the four query kinds ("bandwidth", "estimate", "max_host",
-// "bounds" — see query.hpp for their fields) plus three control ops:
+// "bounds" — see query.hpp for their fields) plus four control ops:
 //   {"op":"ping"}      -> {"ok":true,"result":{"pong":true}}
 //   {"op":"stats"}     -> executor + cache counters
+//   {"op":"health"}    -> pool / cache / shed / flight status report
 //   {"op":"shutdown"}  -> ack, then the daemon stops accepting
 //
 // Every response carries "ok"; successes carry "result", "cache_hit" and
-// "micros"; failures carry "error".  One connection may issue any number of
-// requests; responses come back in request order.
+// "micros" (plus "stale":true when served from cache after a recompute
+// failure); failures carry "error" (plus "overloaded":true and
+// "retry_after_ms" when shed by admission control).  One connection may
+// issue any number of requests; responses come back in request order.  A
+// request line over the size cap gets a "protocol_error" response and the
+// connection stays usable (the overlong line is discarded).
 
 #include <cstdint>
 #include <string>
@@ -20,6 +25,8 @@
 #include "netemu/service/executor.hpp"
 
 namespace netemu {
+
+class FaultInjector;
 
 /// Handle one request line (without trailing newline) against an executor.
 /// Returns the response line (without trailing newline).  If the request is
@@ -32,22 +39,44 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
 /// reparses.
 std::string response_to_line(const Response& r);
 
+/// The response the server writes for an overlong request line.
+std::string protocol_error_line(const std::string& message);
+
 /// Buffered line IO over a file descriptor (socket or pipe).
 class LineChannel {
  public:
+  enum class Status {
+    kOk,       ///< a complete line was read
+    kEof,      ///< peer closed cleanly (0-byte read at a line boundary)
+    kError,    ///< transport error (or injected connection drop)
+    kTooLong,  ///< line exceeded max_line; discarded up to its newline
+  };
+
   explicit LineChannel(int fd) : fd_(fd) {}
 
   /// Read up to and including the next '\n'; returns the line without it.
-  /// False on EOF or error.  Lines over max_line bytes abort the read.
-  bool read_line(std::string& line, std::size_t max_line = 1 << 20);
+  /// Loops on EINTR and partial reads.  On kTooLong the rest of the
+  /// offending line has been discarded, so the stream stays in sync and
+  /// the caller may answer with protocol_error_line() and keep reading.
+  Status read_line_status(std::string& line, std::size_t max_line = 1 << 20);
 
-  /// Write line + '\n', retrying on short writes.  False on error.
+  /// Convenience wrapper: true only on Status::kOk.
+  bool read_line(std::string& line, std::size_t max_line = 1 << 20) {
+    return read_line_status(line, max_line) == Status::kOk;
+  }
+
+  /// Write line + '\n', looping on EINTR and short writes.  False on error.
   bool write_line(const std::string& line);
+
+  /// Route this channel's reads/writes through a fault injector (chaos
+  /// testing).  Not owned; must outlive the channel.  nullptr disables.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
 
   int fd() const { return fd_; }
 
  private:
   int fd_;
+  FaultInjector* faults_ = nullptr;
   std::string buffer_;
   std::size_t buffer_pos_ = 0;
 };

@@ -274,6 +274,11 @@ std::optional<Query> query_from_json(const Json& request, std::string* error) {
   if (request.contains("deadline_ms")) {
     q.deadline_ms = request["deadline_ms"].as_uint(0);
   }
+  if (request.contains("refresh")) {
+    const Json& r = request["refresh"];
+    if (!r.is_bool()) return fail("'refresh' must be a boolean");
+    q.refresh = r.as_bool();
+  }
   if (error) error->clear();
   return q;
 }
@@ -302,6 +307,7 @@ Json query_to_json(const Query& q) {
       break;
   }
   if (q.deadline_ms > 0) doc["deadline_ms"] = q.deadline_ms;
+  if (q.refresh) doc["refresh"] = true;
   return doc;
 }
 

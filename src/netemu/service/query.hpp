@@ -58,6 +58,9 @@ struct Query {
 
   // Per-request execution control — NOT part of the content address.
   std::uint64_t deadline_ms = 0;  ///< 0 = executor default
+  bool refresh = false;           ///< force a recompute (bypass cache read);
+                                  ///< on failure the executor may serve the
+                                  ///< previous value marked stale
 
   /// Canonical key string: "kind|field=value|..." over exactly the fields
   /// relevant to this kind, in fixed order.

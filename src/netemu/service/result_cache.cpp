@@ -4,13 +4,31 @@
 #include <fstream>
 #include <sstream>
 
+#include "netemu/faultline/injector.hpp"
 #include "netemu/util/hash.hpp"
 #include "netemu/util/json.hpp"
 
 namespace netemu {
 
+namespace {
+
+constexpr const char* kHeaderV2 = R"({"format":"netemu-result-cache-v2"})";
+
+/// Per-entry checksum: covers both the key and the value so a line whose
+/// bytes were spliced from two entries cannot verify.
+std::string entry_sum(const std::string& key_hex, const std::string& value) {
+  return hex64(fnv1a64(value, fnv1a64(key_hex)));
+}
+
+}  // namespace
+
 ResultCache::ResultCache(std::size_t capacity, std::string path)
     : capacity_(capacity == 0 ? 1 : capacity), path_(std::move(path)) {}
+
+void ResultCache::set_fault_injector(FaultInjector* injector) {
+  std::lock_guard lock(mutex_);
+  faults_ = injector;
+}
 
 std::optional<std::string> ResultCache::get(std::uint64_t key) {
   std::lock_guard lock(mutex_);
@@ -52,14 +70,9 @@ void ResultCache::put_locked(std::uint64_t key, std::string value,
   }
 }
 
-bool ResultCache::load() {
-  if (path_.empty()) return false;
-  std::ifstream in(path_);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
+bool ResultCache::load_v1(const std::string& text) {
   std::string error;
-  const Json doc = Json::parse(buffer.str(), &error);
+  const Json doc = Json::parse(text, &error);
   if (!error.empty() || !doc.is_object()) return false;
   const Json& entries = doc["entries"];
   if (!entries.is_array()) return false;
@@ -67,44 +80,132 @@ bool ResultCache::load() {
   std::lock_guard lock(mutex_);
   for (const Json& entry : entries.items()) {
     std::uint64_t key = 0;
-    if (!parse_hex64(entry["key"].as_string(), key)) continue;
+    if (!parse_hex64(entry["key"].as_string(), key)) {
+      ++corrupt_entries_;
+      continue;
+    }
     const Json& value = entry["value"];
-    if (!value.is_string()) continue;
-    // File entries enter at the cold end and never displace what the live
-    // process already cached.
+    if (!value.is_string()) {
+      ++corrupt_entries_;
+      continue;
+    }
     if (index_.count(key)) continue;
     put_locked(key, value.as_string(), /*front=*/false);
   }
   return true;
 }
 
+bool ResultCache::load() {
+  if (path_.empty()) return false;
+  std::ifstream in(path_);
+  if (!in) return false;
+
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  if (header != kHeaderV2) {
+    // Not the line format: fall back to the v1 whole-document layout.
+    std::stringstream buffer;
+    buffer << header << "\n" << in.rdbuf();
+    return load_v1(buffer.str());
+  }
+
+  // v2: one checksummed entry per line, hot to cold.  Every line stands
+  // alone — a torn or corrupted line is quarantined and loading continues,
+  // so a crash mid-write costs at most the entries past the tear.
+  std::lock_guard lock(mutex_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A final line without its '\n' is a torn tail: its checksum decides.
+    std::string error;
+    const Json entry = Json::parse(line, &error);
+    std::uint64_t key = 0;
+    if (!error.empty() || !entry.is_object() ||
+        !parse_hex64(entry["key"].as_string(), key) ||
+        !entry["value"].is_string() ||
+        entry["sum"].as_string() !=
+            entry_sum(entry["key"].as_string(), entry["value"].as_string())) {
+      ++corrupt_entries_;
+      continue;
+    }
+    // File entries enter at the cold end and never displace what the live
+    // process already cached.
+    if (index_.count(key)) continue;
+    put_locked(key, entry["value"].as_string(), /*front=*/false);
+  }
+  return true;
+}
+
 bool ResultCache::save() {
   if (path_.empty()) return false;
-  Json doc = Json::object();
-  doc["format"] = "netemu-result-cache-v1";
-  Json entries = Json::array();
+
+  std::string payload = kHeaderV2;
+  payload += '\n';
+  FaultInjector* faults = nullptr;
   {
     std::lock_guard lock(mutex_);
+    faults = faults_;
     // Dump hot-to-cold: load() appends file entries in order at the cold
     // end of an empty list, which reconstructs exactly this recency order.
     for (const Entry& e : lru_) {
-      Json entry = Json::object();
-      entry["key"] = hex64(e.key);
-      entry["value"] = e.value;
-      entries.items().push_back(std::move(entry));
+      const std::string key_hex = hex64(e.key);
+      payload += R"({"key":")";
+      payload += key_hex;
+      payload += R"(","sum":")";
+      payload += entry_sum(key_hex, e.value);
+      payload += R"(","value":")";
+      json_escape(e.value, payload);
+      payload += "\"}\n";
     }
   }
-  doc["entries"] = std::move(entries);
+
+  // Fault hooks: a clean failure writes nothing; a torn write truncates the
+  // payload and still renames it into place, simulating a crash that beat
+  // the rename barrier — exactly what the checksummed loader must survive.
+  std::size_t write_bytes = payload.size();
+  bool torn = false;
+  if (faults) {
+    double fraction = 1.0;
+    switch (faults->on_disk_write(fraction)) {
+      case FaultInjector::DiskFault::kFail: {
+        std::lock_guard lock(mutex_);
+        ++save_failures_;
+        return false;
+      }
+      case FaultInjector::DiskFault::kTorn:
+        torn = true;
+        write_bytes = static_cast<std::size_t>(
+            static_cast<double>(payload.size()) * fraction);
+        break;
+      case FaultInjector::DiskFault::kNone:
+        break;
+    }
+  }
 
   const std::string tmp = path_ + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << doc.dump() << "\n";
-    if (!out.good()) return false;
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      std::lock_guard lock(mutex_);
+      ++save_failures_;
+      return false;
+    }
+    out.write(payload.data(), static_cast<std::streamsize>(write_bytes));
+    if (!out.good()) {
+      std::lock_guard lock(mutex_);
+      ++save_failures_;
+      return false;
+    }
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     std::remove(tmp.c_str());
+    std::lock_guard lock(mutex_);
+    ++save_failures_;
+    return false;
+  }
+  if (torn) {
+    std::lock_guard lock(mutex_);
+    ++save_failures_;
     return false;
   }
   return true;
@@ -123,6 +224,16 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   std::lock_guard lock(mutex_);
   return misses_;
+}
+
+std::uint64_t ResultCache::corrupt_entries() const {
+  std::lock_guard lock(mutex_);
+  return corrupt_entries_;
+}
+
+std::uint64_t ResultCache::save_failures() const {
+  std::lock_guard lock(mutex_);
+  return save_failures_;
 }
 
 }  // namespace netemu

@@ -1,6 +1,6 @@
 #pragma once
 // Content-addressed result cache: an in-memory LRU layer over an optional
-// on-disk JSON file, keyed by Query::cache_key().
+// on-disk file, keyed by Query::cache_key().
 //
 // Values are the serialized result documents (JSON text), so a cache hit is
 // a string copy — no recomputation, no re-serialization.  The disk file
@@ -8,6 +8,15 @@
 // file's entries as the cold end of the LRU, so a restarted daemon keeps its
 // expensive beta-hat estimates but evicts them first if the working set has
 // moved on.
+//
+// Crash safety: the v2 disk format is line-delimited — a header line, then
+// one checksummed JSON object per entry, hot to cold.  Writes go to a temp
+// file renamed into place, so an interrupted save normally leaves the old
+// file untouched; if a torn file does reach disk (power loss between the
+// data write and the rename barrier, fs corruption, an injected fault), the
+// loader verifies each line's checksum independently, quarantines bad
+// entries (counted, skipped) and keeps every intact one — it never aborts
+// and never crashes.  The v1 whole-document format is still read.
 //
 // Thread-safe; every public method takes the internal mutex.
 
@@ -19,6 +28,8 @@
 #include <unordered_map>
 
 namespace netemu {
+
+class FaultInjector;
 
 class ResultCache {
  public:
@@ -35,11 +46,14 @@ class ResultCache {
   void put(std::uint64_t key, std::string value);
 
   /// Merge entries from the disk file (oldest recency; existing in-memory
-  /// entries win).  No-op and false when the file is absent or malformed.
+  /// entries win).  Corrupt entries are quarantined (see corrupt_entries())
+  /// and loading continues.  False when the file is absent, unreadable, or
+  /// no header survives.
   bool load();
 
-  /// Write every resident entry to the disk file (atomic rename).  False
-  /// when the cache has no path or the write fails.
+  /// Write every resident entry to the disk file (atomic temp-file+rename,
+  /// per-entry checksums).  False when the cache has no path or the write
+  /// fails (see save_failures()).
   bool save();
 
   std::size_t size() const;
@@ -48,6 +62,15 @@ class ResultCache {
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  /// Disk entries dropped by load() for checksum/parse failures.
+  std::uint64_t corrupt_entries() const;
+  /// save() calls that did not produce a complete file.
+  std::uint64_t save_failures() const;
+
+  /// Route persistence through a fault injector (chaos testing): saves may
+  /// fail cleanly or leave a torn (truncated) file behind.  Not owned;
+  /// must outlive the cache.  nullptr disables.
+  void set_fault_injector(FaultInjector* injector);
 
  private:
   struct Entry {
@@ -56,6 +79,7 @@ class ResultCache {
   };
 
   void put_locked(std::uint64_t key, std::string value, bool front);
+  bool load_v1(const std::string& text);
 
   const std::size_t capacity_;
   const std::string path_;
@@ -65,6 +89,9 @@ class ResultCache {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t corrupt_entries_ = 0;
+  std::uint64_t save_failures_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace netemu

@@ -84,11 +84,26 @@ void Server::accept_loop() {
 
 void Server::handle_connection(int fd) {
   LineChannel channel(fd);
+  channel.set_fault_injector(options_.faults);
   std::string line;
   bool shutdown_requested = false;
-  while (!shutdown_requested && channel.read_line(line)) {
-    const std::string response =
-        handle_request_line(line, executor_, &shutdown_requested);
+  while (!shutdown_requested) {
+    const LineChannel::Status status =
+        channel.read_line_status(line, options_.max_line);
+    if (status == LineChannel::Status::kEof ||
+        status == LineChannel::Status::kError) {
+      break;
+    }
+    std::string response;
+    if (status == LineChannel::Status::kTooLong) {
+      // The oversized line was discarded up to its newline; answer with a
+      // protocol error and keep the connection usable.
+      response = protocol_error_line(
+          "request line exceeds " + std::to_string(options_.max_line) +
+          " bytes");
+    } else {
+      response = handle_request_line(line, executor_, &shutdown_requested);
+    }
     if (!channel.write_line(response)) break;
   }
   {

@@ -9,6 +9,7 @@
 // and joins all threads; it is safe to call from any thread except a
 // connection handler.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -20,11 +21,17 @@
 
 namespace netemu {
 
+class FaultInjector;
+
 class Server {
  public:
   struct Options {
     std::uint16_t port = 7464;  ///< 0 = ephemeral (see port() after start)
     int backlog = 64;
+    std::size_t max_line = 1 << 20;  ///< request line cap (protocol_error)
+    /// Fault injector applied to every connection's socket I/O (chaos
+    /// testing).  Not owned; must outlive the server.  nullptr disables.
+    FaultInjector* faults = nullptr;
   };
 
   explicit Server(QueryExecutor& executor);  // all-default Options
@@ -56,7 +63,8 @@ class Server {
 
   QueryExecutor& executor_;
   Options options_;
-  int listen_fd_ = -1;
+  // Atomic: the accept thread reads it while stop() closes and resets it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
 
   mutable std::mutex mutex_;

@@ -105,6 +105,9 @@ struct Parser {
                 return fail("unpaired surrogate");
               }
             }
+            // A surviving surrogate half (lone low, or high not followed by
+            // \u) would encode to invalid UTF-8; reject it instead.
+            if (cp >= 0xD800 && cp <= 0xDFFF) return fail("unpaired surrogate");
             append_utf8(out, cp);
             break;
           }
@@ -120,8 +123,45 @@ struct Parser {
     return fail("unterminated string");
   }
 
+  /// JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+  /// strtod alone is far too permissive (hex, inf/nan, leading '+') so the
+  /// span is validated first and strtod only converts the validated bytes.
+  bool parse_number(Json& out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || *p < '0' || *p > '9') return fail("bad number");
+    if (*p == '0') {
+      ++p;
+      if (p < end && *p >= '0' && *p <= '9') {
+        return fail("bad number: leading zero");
+      }
+    } else {
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || *p < '0' || *p > '9') {
+        return fail("bad number: expected digit after '.'");
+      }
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || *p < '0' || *p > '9') {
+        return fail("bad number: expected exponent digits");
+      }
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    // Copy so strtod cannot read past the validated span (it would happily
+    // consume "0x10" from the underlying buffer).
+    const std::string span(start, p);
+    out = Json(std::strtod(span.c_str(), nullptr));
+    return true;
+  }
+
   bool parse_value(Json& out, int depth) {
-    if (depth > 64) return fail("nesting too deep");
+    if (depth >= kJsonMaxDepth) return fail("nesting too deep");
     skip_ws();
     if (p >= end) return fail("unexpected end of input");
     switch (*p) {
@@ -204,12 +244,8 @@ struct Parser {
         }
       }
       default: {
-        char* num_end = nullptr;
-        const double v = std::strtod(p, &num_end);
-        if (num_end == p) return fail("unexpected character");
-        p = num_end;
-        out = Json(v);
-        return true;
+        if (*p == '-' || (*p >= '0' && *p <= '9')) return parse_number(out);
+        return fail("unexpected character");
       }
     }
   }

@@ -22,6 +22,12 @@ class Json;
 using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;
 
+/// Maximum container nesting depth parse() accepts.  Deeper documents are
+/// rejected with an error instead of recursing toward a stack overflow —
+/// the wire protocol and cache file never legitimately nest past a handful
+/// of levels.
+inline constexpr int kJsonMaxDepth = 64;
+
 class Json {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -82,7 +88,10 @@ class Json {
   void dump_to(std::string& out) const;
 
   /// Parse one JSON document; trailing whitespace allowed, trailing garbage
-  /// is an error.  Returns null and sets *error on failure.
+  /// is an error.  Returns null and sets *error on failure.  Malformed
+  /// input never yields a partial document: strict number grammar (no hex,
+  /// inf/nan, leading '+', or bare '.5'), unpaired \uXXXX surrogates are
+  /// rejected, and nesting beyond kJsonMaxDepth is an error.
   static Json parse(const std::string& text, std::string* error = nullptr);
 
  private:

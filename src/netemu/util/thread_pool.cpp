@@ -46,6 +46,16 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+std::uint64_t ThreadPool::dropped_exceptions() const {
+  std::lock_guard lock(mutex_);
+  return dropped_exceptions_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -56,9 +66,17 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    bool threw = false;
+    try {
+      task();
+    } catch (...) {
+      // An escaping exception would std::terminate the whole process; a
+      // daemon's pool swallows it and counts it instead (see header).
+      threw = true;
+    }
     {
       std::lock_guard lock(mutex_);
+      if (threw) ++dropped_exceptions_;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

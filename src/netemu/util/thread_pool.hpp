@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -39,6 +40,15 @@ class ThreadPool {
   /// task) if shutdown has already begun.
   bool submit(std::function<void()> task);
 
+  /// Tasks submitted but not yet finished (queued + running).
+  std::size_t pending() const;
+
+  /// Tasks whose exception escaped to the pool boundary.  Such exceptions
+  /// are swallowed (and counted) rather than terminating the process — a
+  /// long-running daemon must survive a buggy task.  parallel_for has its
+  /// own rethrow path and never increments this.
+  std::uint64_t dropped_exceptions() const;
+
   /// Block until all submitted tasks have finished.
   void wait_idle();
 
@@ -60,10 +70,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
+  std::uint64_t dropped_exceptions_ = 0;
   bool stopping_ = false;
 };
 

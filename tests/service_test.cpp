@@ -76,6 +76,85 @@ TEST(Json, RejectsMalformed) {
   EXPECT_FALSE(error.empty());
 }
 
+// A daemon parses attacker-adjacent bytes straight off a socket, so the
+// parser must reject — never mis-read, never crash on — every malformed
+// shape we can think of.  Table-driven so new cases are one line.
+TEST(Json, MalformedInputTable) {
+  const struct {
+    const char* text;
+    const char* why;
+  } kCases[] = {
+      {"", "empty input"},
+      {"   ", "whitespace only"},
+      {"{", "unterminated object"},
+      {"[", "unterminated array"},
+      {"\"abc", "unterminated string"},
+      {"{\"a\":1,}", "trailing comma in object"},
+      {"[1,2,]", "trailing comma in array"},
+      {"{\"a\" 1}", "missing colon"},
+      {"{1:2}", "non-string key"},
+      {"tru", "truncated literal true"},
+      {"nul", "truncated literal null"},
+      {"01", "leading zero"},
+      {"+1", "leading plus"},
+      {"-", "bare minus"},
+      {"1.", "fraction without digits"},
+      {".5", "bare leading dot"},
+      {"1e", "exponent without digits"},
+      {"1e+", "signed exponent without digits"},
+      {"0x10", "hex number"},
+      {"inf", "infinity literal"},
+      {"nan", "nan literal"},
+      {"{} x", "trailing garbage"},
+      {"1 2", "two documents"},
+      {"\"\\ud800\"", "unpaired high surrogate"},
+      {"\"\\udc00\"", "unpaired low surrogate"},
+      {"\"\\ud800\\u0041\"", "high surrogate followed by non-surrogate"},
+      {"\"\\q\"", "unknown escape"},
+      {"\"\\u12g4\"", "non-hex in unicode escape"},
+      {"\"a\tb\"", "raw control character in string"},
+  };
+  for (const auto& c : kCases) {
+    std::string error;
+    const Json doc = Json::parse(c.text, &error);
+    EXPECT_FALSE(error.empty()) << c.why << ": " << c.text;
+    EXPECT_TRUE(doc.is_null()) << c.why << ": " << c.text;
+  }
+}
+
+TEST(Json, DepthCapRejectsDeepNestingAcceptsShallow) {
+  std::string deep;
+  for (int i = 0; i < kJsonMaxDepth + 1; ++i) deep += '[';
+  for (int i = 0; i < kJsonMaxDepth + 1; ++i) deep += ']';
+  std::string error;
+  Json::parse(deep, &error);
+  EXPECT_FALSE(error.empty());
+
+  std::string shallow;
+  for (int i = 0; i < kJsonMaxDepth - 1; ++i) shallow += '[';
+  for (int i = 0; i < kJsonMaxDepth - 1; ++i) shallow += ']';
+  const Json ok = Json::parse(shallow, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(ok.is_array());
+}
+
+TEST(Json, StrictNumbersStillAcceptValidForms) {
+  const struct {
+    const char* text;
+    double value;
+  } kCases[] = {
+      {"0", 0.0},           {"-0", 0.0},       {"10", 10.0},
+      {"-3", -3.0},         {"0.5", 0.5},      {"1.25e2", 125.0},
+      {"2E-2", 0.02},       {"1e3", 1000.0},
+  };
+  for (const auto& c : kCases) {
+    std::string error;
+    const Json doc = Json::parse(c.text, &error);
+    EXPECT_TRUE(error.empty()) << c.text << ": " << error;
+    EXPECT_DOUBLE_EQ(doc.as_number(), c.value) << c.text;
+  }
+}
+
 // ----------------------------------------------------------- cache key --
 
 Query must_parse(const std::string& text) {
