@@ -2,8 +2,24 @@
 // BFS, router path generation, packet-simulation ticks, KL bisection,
 // Fiedler iteration.  These time the *infrastructure*, not the paper's
 // claims; they exist so performance regressions in the kernels are visible.
+//
+// Regression-harness mode (docs/PERF.md): `micro_sim --baseline [--out
+// BENCH_sim.json] [--reps N] [--smoke] [--threads 1,2,8]` times run_batch
+// on fixed topology × arbitration cases, checks that identical seeds give
+// identical results at every requested thread count, and writes a
+// machine-readable BENCH_sim.json so every PR has a tracked perf
+// trajectory.  Exits nonzero on a determinism violation.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "netemu/cut/bisection.hpp"
 #include "netemu/cut/spectral.hpp"
@@ -12,6 +28,7 @@
 #include "netemu/routing/packet_sim.hpp"
 #include "netemu/routing/throughput.hpp"
 #include "netemu/topology/generators.hpp"
+#include "netemu/util/json.hpp"
 
 namespace {
 
@@ -71,8 +88,9 @@ void BM_PacketBatch(benchmark::State& state) {
     paths.push_back(router->route(msg.src, msg.dst, rng));
   }
   PacketSimulator sim(m);
+  const auto batch = sim.prepare(paths);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_batch(paths, rng));
+    benchmark::DoNotOptimize(sim.run_batch(batch, rng));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(paths.size()));
@@ -115,6 +133,225 @@ void BM_ThroughputMeasurement(benchmark::State& state) {
 }
 BENCHMARK(BM_ThroughputMeasurement);
 
+// ---------------------------------------------------------------------------
+// Regression-harness ("--baseline") mode.
+// ---------------------------------------------------------------------------
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+std::vector<std::vector<Vertex>> baseline_paths(const Machine& m,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  Prng rng(seed);
+  BfsRouter router(m, /*spread=*/true);
+  const std::size_t n = m.graph.num_vertices();
+  std::vector<std::vector<Vertex>> paths;
+  paths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vertex src = static_cast<Vertex>(rng.below(n));
+    const Vertex dst = static_cast<Vertex>(rng.below(n));
+    paths.push_back(router.route(src, dst, rng));
+  }
+  return paths;
+}
+
+double percentile(std::vector<double> sorted_ms, double q) {
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[idx];
+}
+
+/// Time run_batch on one topology × arbitration case.
+Json run_case(const char* topo_name, const Machine& machine, Arbitration arb,
+              int reps) {
+  const std::size_t n = machine.graph.num_vertices();
+  const auto paths = baseline_paths(machine, 8 * n, 999);
+  const PacketSimulator sim(machine, arb);
+  const auto batch = sim.prepare(paths);
+
+  std::vector<double> wall_ms;
+  wall_ms.reserve(static_cast<std::size_t>(reps));
+  BatchStats stats;
+  double total_s = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Prng rng(777);  // per-rep reset: every rep simulates identical work
+    const auto t0 = SteadyClock::now();
+    stats = sim.run_batch(batch, rng);
+    const double s = seconds_since(t0);
+    wall_ms.push_back(s * 1e3);
+    total_s += s;
+  }
+  std::sort(wall_ms.begin(), wall_ms.end());
+
+  const double ticks = static_cast<double>(stats.makespan);
+  const double reps_d = static_cast<double>(reps);
+  Json c = Json::object();
+  c["topology"] = topo_name;
+  c["arbitration"] = arbitration_name(arb);
+  c["vertices"] = n;
+  c["messages"] = paths.size();
+  c["makespan"] = stats.makespan;
+  c["rate"] = stats.rate();
+  c["wall_ms_p50"] = percentile(wall_ms, 0.50);
+  c["wall_ms_p95"] = percentile(wall_ms, 0.95);
+  c["ticks_per_sec"] = ticks * reps_d / total_s;
+  // The headline work metric: simulated message-ticks per wall second.
+  c["msg_ticks_per_sec"] =
+      ticks * static_cast<double>(paths.size()) * reps_d / total_s;
+  return c;
+}
+
+struct TrialRun {
+  std::vector<double> rates;
+  BatchStats last;
+  double wall_s = 0.0;
+};
+
+TrialRun run_estimate(const Machine& machine, unsigned trials,
+                      std::size_t threads) {
+  ThreadPool pool(threads);
+  BfsRouter router(machine, /*spread=*/true);
+  std::vector<Vertex> procs(machine.graph.num_vertices());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    procs[i] = static_cast<Vertex>(i);
+  }
+  const auto traffic = TrafficDistribution::symmetric(std::move(procs));
+  ThroughputOptions opt;
+  opt.trials = trials;
+  opt.pool = &pool;
+  Prng rng(4242);
+  const auto t0 = SteadyClock::now();
+  const ThroughputResult r =
+      measure_throughput(machine, router, traffic, rng, opt);
+  TrialRun out;
+  out.wall_s = seconds_since(t0);
+  out.rates = r.trial_rates;
+  out.last = r.last;
+  return out;
+}
+
+int run_baseline(const std::string& out_path, int reps, bool smoke,
+                 const std::vector<std::size_t>& thread_counts) {
+  Json doc = Json::object();
+  doc["schema"] = "netemu-bench-sim/1";
+  doc["smoke"] = smoke;
+
+  struct Topo {
+    const char* name;
+    Machine machine;
+  };
+  std::vector<Topo> topos;
+  if (smoke) {
+    topos.push_back({"mesh16x16", make_mesh({16, 16})});
+    topos.push_back({"butterfly4", make_butterfly(4)});
+    topos.push_back({"tree7", make_tree(7)});
+  } else {
+    topos.push_back({"mesh32x32", make_mesh({32, 32})});
+    topos.push_back({"butterfly6", make_butterfly(6)});
+    topos.push_back({"tree9", make_tree(9)});
+  }
+
+  Json cases = Json::array();
+  const Arbitration arbs[] = {Arbitration::kFarthestFirst, Arbitration::kFifo,
+                              Arbitration::kRandom};
+  for (const Topo& t : topos) {
+    for (const Arbitration a : arbs) {
+      cases.items().push_back(run_case(t.name, t.machine, a, reps));
+      std::fprintf(stderr, "baseline: %s/%s done\n", t.name,
+                   arbitration_name(a));
+    }
+  }
+  doc["run_batch"] = std::move(cases);
+
+  // Determinism: a multi-trial estimate must be bit-identical at every
+  // thread count (the acceptance gate CI enforces).
+  const Machine& det_machine = topos.front().machine;
+  const unsigned det_trials = 8;
+  bool deterministic = true;
+  Json det = Json::object();
+  Json det_threads = Json::array();
+  TrialRun reference;
+  Json scaling = Json::object();
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const std::size_t threads = thread_counts[i];
+    const TrialRun run = run_estimate(det_machine, det_trials, threads);
+    det_threads.items().emplace_back(threads);
+    char key[32];
+    std::snprintf(key, sizeof(key), "wall_s_threads_%zu", threads);
+    scaling[key] = run.wall_s;
+    if (i == 0) {
+      reference = run;
+      continue;
+    }
+    if (run.rates != reference.rates || !(run.last == reference.last)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %zu threads disagrees with %zu\n",
+                   threads, thread_counts[0]);
+    }
+  }
+  det["ok"] = deterministic;
+  det["threads"] = std::move(det_threads);
+  det["trials"] = det_trials;
+  Json ref_rates = Json::array();
+  for (const double r : reference.rates) ref_rates.items().emplace_back(r);
+  det["trial_rates"] = std::move(ref_rates);
+  doc["determinism"] = std::move(det);
+  doc["estimate_scaling"] = std::move(scaling);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << doc.dump() << "\n";
+  std::fprintf(stderr, "baseline: wrote %s (determinism %s)\n",
+               out_path.c_str(), deterministic ? "ok" : "VIOLATED");
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool baseline = false;
+  std::string out_path = "BENCH_sim.json";
+  int reps = 15;
+  bool smoke = false;
+  std::vector<std::size_t> thread_counts = {1, 2, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      baseline = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts.clear();
+      const char* p = argv[++i];
+      while (*p) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p) break;
+        if (v > 0) thread_counts.push_back(static_cast<std::size_t>(v));
+        p = (*end == ',') ? end + 1 : end;
+      }
+    }
+  }
+  if (baseline) {
+    if (reps < 3) reps = 3;
+    if (thread_counts.empty()) thread_counts = {1, 2, 8};
+    return run_baseline(out_path, reps, smoke, thread_counts);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,12 +28,15 @@ double measure_beta_simulated(const Machine& machine, Prng& rng,
 BetaBounds measure_beta(const Machine& machine, Prng& rng,
                         const BetaMeasureOptions& options) {
   BetaBounds b;
-  b.simulated = measure_beta_simulated(machine, rng, options.throughput);
+  ThroughputOptions throughput = options.throughput;
+  if (options.pool != nullptr) throughput.pool = options.pool;
+  b.simulated = measure_beta_simulated(machine, rng, throughput);
 
   const Bisection bi =
       machine.graph.num_vertices() <= 20
           ? exact_bisection(machine.graph)
-          : kl_bisection(machine.graph, rng, options.kl_restarts);
+          : kl_bisection(machine.graph, rng, options.kl_restarts,
+                         options.pool);
   b.cut_upper = 2.0 * static_cast<double>(bi.width);
 
   const double avg_dist = avg_distance_auto(

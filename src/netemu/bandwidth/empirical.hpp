@@ -31,6 +31,9 @@ struct BetaMeasureOptions {
   unsigned kl_restarts = 8;
   /// Sampling cutoff for exact average distance.
   std::size_t avg_dist_exact_cutoff = 2048;
+  /// Pool for throughput trials and KL-bisection restarts.  Overrides
+  /// throughput.pool when set; nullptr leaves KL on the global pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Measure all three estimators on a machine.  Weak-node capacities make the

@@ -13,6 +13,7 @@
 
 #include "netemu/graph/multigraph.hpp"
 #include "netemu/util/prng.hpp"
+#include "netemu/util/thread_pool.hpp"
 
 namespace netemu {
 
@@ -30,8 +31,12 @@ struct Bisection {
 Bisection exact_bisection(const Multigraph& g);
 
 /// Kernighan–Lin heuristic with `restarts` random starting cuts; returns the
-/// best (an upper bound on the true width).
-Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts = 8);
+/// best (an upper bound on the true width).  Restart seeds are pre-drawn
+/// from rng, so the result is identical at any thread count.  Restarts run
+/// collaboratively on `pool` (nullptr = the global pool), which makes the
+/// call safe from inside another pool's task.
+Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts = 8,
+                       ThreadPool* pool = nullptr);
 
 /// Best-effort bisection width: exact when n is small, KL otherwise.
 Bisection bisection_auto(const Multigraph& g, Prng& rng,

@@ -115,19 +115,20 @@ std::uint64_t kl_refine(const Multigraph& g, std::vector<bool>& side) {
 
 }  // namespace
 
-Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts) {
+Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts,
+                       ThreadPool* pool) {
   const std::size_t n = g.num_vertices();
-  if (n <= 1) return Bisection{0, std::vector<bool>(n, false)};
+  if (n <= 1 || restarts == 0) return Bisection{0, std::vector<bool>(n, false)};
 
-  Bisection best;
-  best.width = std::numeric_limits<std::uint64_t>::max();
-  std::mutex best_mutex;
-
-  // Pre-generate a seed per restart for determinism under parallelism.
+  // Pre-generate a seed per restart and collect results by restart index,
+  // breaking width ties by lowest index, so the returned cut (not just its
+  // width) is identical at any thread count.
   std::vector<std::uint64_t> seeds(restarts);
   for (auto& s : seeds) s = rng();
 
-  ThreadPool::global().parallel_for(0, restarts, [&](std::size_t r) {
+  std::vector<Bisection> results(restarts);
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->for_n(restarts, [&](std::size_t r) {
     Prng local(seeds[r]);
     std::vector<Vertex> order(n);
     std::iota(order.begin(), order.end(), 0u);
@@ -135,14 +136,15 @@ Bisection kl_bisection(const Multigraph& g, Prng& rng, unsigned restarts) {
     std::vector<bool> side(n, false);
     for (std::size_t i = 0; i < (n + 1) / 2; ++i) side[order[i]] = true;
 
-    const std::uint64_t width = kl_refine(g, side);
-    std::lock_guard lock(best_mutex);
-    if (width < best.width) {
-      best.width = width;
-      best.side = std::move(side);
-    }
+    results[r].width = kl_refine(g, side);
+    results[r].side = std::move(side);
   });
-  return best;
+
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r) {
+    if (results[r].width < results[best].width) best = r;
+  }
+  return std::move(results[best]);
 }
 
 }  // namespace netemu

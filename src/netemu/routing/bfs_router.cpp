@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace netemu {
 
@@ -16,17 +17,38 @@ BfsRouter::BfsRouter(const Machine& machine, bool spread,
       spread_(spread),
       cache_budget_entries_(cache_budget_bytes / sizeof(std::uint16_t)) {}
 
-const std::vector<std::uint16_t>& BfsRouter::distance_field(Vertex dst) {
-  const auto it = fields_.find(dst);
-  if (it != fields_.end()) return it->second;
+std::uint64_t BfsRouter::cache_hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
 
+std::uint64_t BfsRouter::cache_misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t BfsRouter::cache_evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+std::shared_ptr<const BfsRouter::Field> BfsRouter::distance_field(Vertex dst) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = fields_.find(dst);
+    if (it != fields_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  // Compute outside the lock: a BFS over a large machine takes milliseconds,
+  // and concurrent misses on the same destination just redo identical work.
   const Multigraph& g = machine_.graph;
   const std::size_t n = g.num_vertices();
-  if (cached_entries_ + n > cache_budget_entries_) {
-    fields_.clear();
-    cached_entries_ = 0;
-  }
-  std::vector<std::uint16_t> dist(n, kFar);
+  auto field = std::make_shared<Field>(n, kFar);
+  Field& dist = *field;
   std::vector<Vertex> queue;
   queue.reserve(n);
   dist[dst] = 0;
@@ -42,13 +64,33 @@ const std::vector<std::uint16_t>& BfsRouter::distance_field(Vertex dst) {
       }
     }
   }
+
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = fields_.emplace(dst, field);
+  if (!inserted) return it->second;  // another thread won the race
+  eviction_order_.push_back(dst);
   cached_entries_ += n;
-  return fields_.emplace(dst, std::move(dist)).first->second;
+  // Evict oldest-first until back under budget; in-flight routes keep their
+  // field alive through the shared_ptr they already hold.  Always keep the
+  // entry just inserted.
+  while (cached_entries_ > cache_budget_entries_ &&
+         eviction_order_.size() > 1) {
+    const Vertex victim = eviction_order_.front();
+    eviction_order_.pop_front();
+    const auto vit = fields_.find(victim);
+    if (vit != fields_.end()) {
+      cached_entries_ -= vit->second->size();
+      fields_.erase(vit);
+      ++evictions_;
+    }
+  }
+  return field;
 }
 
 std::vector<Vertex> BfsRouter::route(Vertex src, Vertex dst, Prng& rng) {
   if (src == dst) return {src};
-  const auto& dist = distance_field(dst);
+  const std::shared_ptr<const Field> field = distance_field(dst);
+  const Field& dist = *field;
   if (dist[src] == kFar) {
     throw std::runtime_error("BfsRouter: destination unreachable");
   }

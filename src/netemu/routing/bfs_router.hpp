@@ -1,14 +1,25 @@
 #pragma once
 // Generic random-shortest-path router.
 //
-// For each destination it lazily computes and caches the hop-distance field
-// (uint16_t per vertex: 32 MB even at n = 2^24 / one dst, bounded overall by
-// an LRU-free "clear when over budget" policy).  A route is then a greedy
-// descent: from the current vertex, step to a uniformly random neighbor at
-// distance d-1.  Uniform choice over the shortest-path DAG is what spreads
-// congestion — the deterministic-parent alternative is an ablation knob.
+// For each destination it lazily computes and memoizes the BFS tree rooted
+// there, stored as the hop-distance field (uint16_t per vertex: 32 MB even
+// at n = 2^24 / one dst).  A route is then a greedy descent: from the
+// current vertex, step to a uniformly random neighbor at distance d-1.
+// Uniform choice over the shortest-path DAG is what spreads congestion —
+// the deterministic-parent alternative is an ablation knob.
+//
+// The memo is a bounded FIFO cache: when the byte budget is exceeded the
+// oldest fields are evicted (not the whole map), and fields are handed out
+// as shared_ptr so an eviction never invalidates a field another thread is
+// still descending.  route() is safe to call concurrently — the cache is
+// mutex-guarded, and a cache hit costs one lock + one hash probe.  Cached
+// or not, the walk draws the same rng sequence, so results depend only on
+// (machine, src, dst, rng state), never on cache history or thread count.
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,14 +37,27 @@ class BfsRouter final : public Router {
   std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) override;
   const char* name() const override { return spread_ ? "bfs-random" : "bfs"; }
 
+  /// Cache observability (for tests and the perf harness).
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::uint64_t cache_evictions() const;
+
  private:
-  const std::vector<std::uint16_t>& distance_field(Vertex dst);
+  using Field = std::vector<std::uint16_t>;
+
+  std::shared_ptr<const Field> distance_field(Vertex dst);
 
   const Machine& machine_;
   bool spread_;
   std::size_t cache_budget_entries_;
+
+  mutable std::mutex mutex_;  // guards everything below
   std::size_t cached_entries_ = 0;
-  std::unordered_map<Vertex, std::vector<std::uint16_t>> fields_;
+  std::unordered_map<Vertex, std::shared_ptr<const Field>> fields_;
+  std::deque<Vertex> eviction_order_;  // FIFO of cached destinations
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace netemu

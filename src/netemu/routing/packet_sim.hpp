@@ -13,7 +13,15 @@
 // Contention is resolved by an arbitration policy; farthest-remaining-first
 // is the default (it is the policy family behind the O(congestion+dilation)
 // routing theorem the paper leans on), FIFO and random are ablation knobs.
+//
+// Hot-path design (see docs/PERF.md): paths are flattened ONCE into a
+// PreparedBatch of channel-id sequences (channel_of resolved at flatten
+// time, never per tick), and the tick loop buckets contending messages with
+// a flat counting sort over scratch arrays sized once per run — no per-tick
+// allocation.  PreparedBatch is appendable so a batch-doubling caller reuses
+// the already-flattened prefix instead of re-resolving every path.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,22 +46,62 @@ struct BatchStats {
                          : static_cast<double>(delivered) /
                                static_cast<double>(makespan);
   }
+
+  bool operator==(const BatchStats&) const = default;
 };
+
+/// Process-wide count of ticks simulated by every run_batch since start;
+/// exported so the service health report can expose simulation volume.
+std::uint64_t simulated_ticks_total();
 
 class PacketSimulator {
  public:
+  /// Paths flattened into per-message channel-id sequences.  Built by
+  /// prepare()/append() of the simulator that will run it (channel ids are
+  /// simulator-specific) and reusable across any number of run_batch calls.
+  class PreparedBatch {
+   public:
+    std::size_t size() const { return seq_off_.size() - 1; }
+    std::uint64_t total_hops() const { return seq_.size(); }
+    std::uint64_t static_congestion() const { return static_congestion_; }
+
+   private:
+    friend class PacketSimulator;
+    std::vector<std::uint32_t> seq_;           // concatenated channel ids
+    std::vector<std::uint32_t> seq_off_{0};    // per-message offsets, size m+1
+    std::vector<std::uint32_t> load_;          // per-channel static load
+    std::uint64_t static_congestion_ = 0;
+  };
+
   explicit PacketSimulator(const Machine& machine,
                            Arbitration arbitration = Arbitration::kFarthestFirst);
 
-  /// Route a batch of full vertex paths to completion.  Paths of length <= 1
-  /// deliver instantly.  rng feeds the random arbitration policy only.
+  /// Flatten full vertex paths into channel sequences (throws if a path uses
+  /// a missing edge).  Paths of length <= 1 contribute no hops.
+  PreparedBatch prepare(const std::vector<std::vector<Vertex>>& paths) const;
+
+  /// Append one more routed path to an existing batch (batch-doubling
+  /// top-up); static congestion is maintained incrementally.
+  void append(PreparedBatch& batch, const std::vector<Vertex>& path) const;
+
+  /// Route a prepared batch to completion.  rng feeds the random arbitration
+  /// policy only.  Thread-safe: const, all mutable state is call-local, so
+  /// one simulator can serve concurrent trials.
+  BatchStats run_batch(const PreparedBatch& batch, Prng& rng) const;
+
+  /// Convenience wrapper: prepare + run in one call.
   BatchStats run_batch(const std::vector<std::vector<Vertex>>& paths,
-                       Prng& rng);
+                       Prng& rng) const;
 
   std::size_t num_channels() const { return channel_cap_.size(); }
 
  private:
   std::uint32_t channel_of(Vertex u, Vertex v) const;
+
+  template <class PriorityFactory>
+  BatchStats run_batch_impl(const PreparedBatch& batch,
+                            const PriorityFactory& make_priority,
+                            const std::uint32_t* rand_key_by_msg) const;
 
   const Machine& machine_;
   Arbitration arbitration_;
@@ -63,6 +111,7 @@ class PacketSimulator {
   std::vector<Vertex> arc_to_;                 // channel -> head vertex
   std::vector<std::uint32_t> channel_cap_;     // channel -> wires
   std::vector<Vertex> channel_tail_;           // channel -> tail vertex
+  bool all_unit_cap_ = false;                  // every channel a single wire
 };
 
 }  // namespace netemu

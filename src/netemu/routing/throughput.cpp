@@ -9,14 +9,14 @@ namespace netemu {
 
 namespace {
 
-std::vector<std::vector<Vertex>> make_paths(
-    const std::vector<Message>& batch, Router& router, Prng& rng) {
-  std::vector<std::vector<Vertex>> paths;
-  paths.reserve(batch.size());
-  for (const Message& msg : batch) {
-    paths.push_back(router.route(msg.src, msg.dst, rng));
+/// Sample `extra` messages and append their routed paths to `batch`.
+void route_into(PacketSimulator::PreparedBatch& batch,
+                const PacketSimulator& sim, Router& router,
+                const TrafficDistribution& traffic, std::size_t extra,
+                Prng& rng) {
+  for (const Message& msg : traffic.batch(extra, rng)) {
+    sim.append(batch, router.route(msg.src, msg.dst, rng));
   }
-  return paths;
 }
 
 }  // namespace
@@ -26,9 +26,13 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
                                     Prng& rng,
                                     const ThroughputOptions& options) {
   ThroughputResult result;
-  PacketSimulator sim(machine, options.arbitration);
+  const PacketSimulator sim(machine, options.arbitration);
 
-  const std::uint64_t diameter_lb = diameter_double_sweep(machine.graph, rng);
+  // One draw from the caller's stream seeds everything (see header).
+  const std::uint64_t base = rng();
+  Prng diam_rng = Prng::stream(base, 0);
+  const std::uint64_t diameter_lb =
+      diameter_double_sweep(machine.graph, diam_rng);
   const std::uint64_t target_makespan =
       std::max<std::uint64_t>(options.min_makespan, 4 * diameter_lb);
 
@@ -36,25 +40,59 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
       options.messages_per_processor * traffic.num_processors(), 512,
       options.max_messages);
 
-  // Grow the batch until the transient is negligible.
-  for (;;) {
-    const auto paths = make_paths(traffic.batch(m, rng), router, rng);
-    result.last = sim.run_batch(paths, rng);
-    if (result.last.makespan >= target_makespan ||
-        m >= options.max_messages) {
-      break;
+  const unsigned trials = std::max(1u, options.trials);
+  std::vector<BatchStats> stats(trials);
+
+  // Trial 0 calibrates the batch size: grow by doubling until the transient
+  // is negligible, keeping the already-routed paths and routing only the
+  // top-up messages each step.
+  std::uint64_t calibration_ticks = 0;
+  {
+    Prng trial_rng = Prng::stream(base, 1);
+    PacketSimulator::PreparedBatch batch;
+    std::size_t routed = 0;
+    for (;;) {
+      route_into(batch, sim, router, traffic, m - routed, trial_rng);
+      routed = m;
+      stats[0] = sim.run_batch(batch, trial_rng);
+      if (stats[0].makespan >= target_makespan || m >= options.max_messages) {
+        break;
+      }
+      calibration_ticks += stats[0].makespan;  // non-final sizing runs
+      m = std::min(options.max_messages, m * 2);
     }
-    m = std::min(options.max_messages, m * 2);
   }
   result.messages = m;
 
-  std::vector<double> rates{result.last.rate()};
-  for (unsigned t = 1; t < options.trials; ++t) {
-    const auto paths = make_paths(traffic.batch(m, rng), router, rng);
-    result.last = sim.run_batch(paths, rng);
-    rates.push_back(result.last.rate());
+  // Trials 1..T-1 at the calibrated size, independently seeded by index and
+  // collected by index — bit-identical at any thread count.
+  const auto run_trial = [&](std::size_t t) {
+    Prng trial_rng = Prng::stream(base, 1 + t);
+    PacketSimulator::PreparedBatch batch;
+    route_into(batch, sim, router, traffic, m, trial_rng);
+    stats[t] = sim.run_batch(batch, trial_rng);
+  };
+  if (trials > 1) {
+    if (options.pool != nullptr) {
+      options.pool->for_n(trials - 1,
+                          [&](std::size_t i) { run_trial(i + 1); });
+    } else {
+      for (unsigned t = 1; t < trials; ++t) run_trial(t);
+    }
   }
-  result.rate = median(std::move(rates));
+
+  result.trial_rates.reserve(trials);
+  result.total_ticks = calibration_ticks;
+  for (const BatchStats& s : stats) {
+    result.trial_rates.push_back(s.rate());
+    result.total_ticks += s.makespan;
+  }
+  result.rate = median(std::vector<double>(result.trial_rates));
+  const auto [lo, hi] = std::minmax_element(result.trial_rates.begin(),
+                                            result.trial_rates.end());
+  result.rate_min = *lo;
+  result.rate_max = *hi;
+  result.last = stats[trials - 1];
   return result;
 }
 

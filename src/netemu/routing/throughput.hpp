@@ -5,12 +5,28 @@
 // The meter grows the batch until the makespan dwarfs both the machine's
 // diameter and a floor, so the startup/drain transient cannot bias the rate,
 // then reports the median rate over independent trials.
+//
+// Determinism contract: measure_throughput draws exactly ONE value from the
+// caller's rng; everything else derives from Prng::stream(base, i) —
+// substream 0 feeds the diameter sweep, substream 1+t feeds trial t (batch
+// sampling, routing, and arbitration randomness alike).  Trial 0 runs first
+// and alone to calibrate the batch size m (doubling, reusing already-routed
+// paths and routing only the top-up); trials 1..T-1 then run at that fixed m
+// — concurrently on options.pool when set — and results are collected by
+// trial index.  The outcome is therefore bit-identical at any thread count
+// to the serial order "trial 0, trial 1, ..., trial T-1".
+//
+// Routers used with a concurrent pool must tolerate concurrent route()
+// calls; every bundled router is stateless per call except BfsRouter, whose
+// distance-field cache is internally synchronized.
 
 #include <cstddef>
+#include <vector>
 
 #include "netemu/routing/packet_sim.hpp"
 #include "netemu/routing/router.hpp"
 #include "netemu/traffic/distribution.hpp"
+#include "netemu/util/thread_pool.hpp"
 
 namespace netemu {
 
@@ -20,12 +36,19 @@ struct ThroughputOptions {
   std::uint64_t min_makespan = 256;        ///< floor (also >= 4 * diameter)
   unsigned trials = 3;
   Arbitration arbitration = Arbitration::kFarthestFirst;
+  /// Run trials 1..T-1 concurrently on this pool (collaboratively: safe even
+  /// when called from inside one of the pool's own tasks).  nullptr = serial.
+  ThreadPool* pool = nullptr;
 };
 
 struct ThroughputResult {
   double rate = 0.0;        ///< β̂: median delivery rate over trials
+  double rate_min = 0.0;    ///< slowest trial (spread floor)
+  double rate_max = 0.0;    ///< fastest trial (spread ceiling)
   std::size_t messages = 0; ///< batch size finally used
-  BatchStats last;          ///< stats of the last trial
+  BatchStats last;          ///< stats of the last trial (highest index)
+  std::vector<double> trial_rates;  ///< per-trial rate, indexed by trial
+  std::uint64_t total_ticks = 0;    ///< ticks simulated, calibration included
 };
 
 ThroughputResult measure_throughput(const Machine& machine, Router& router,

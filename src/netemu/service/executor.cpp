@@ -24,7 +24,14 @@ QueryExecutor::QueryExecutor(Options options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity, options_.cache_file),
       pool_(options_.threads) {
-  if (!options_.compute) options_.compute = plan_query;
+  if (!options_.compute) {
+    // Pass the executor's own pool down so estimate trials run concurrently;
+    // measure_throughput's collaborative loop makes that safe even though
+    // the compute itself occupies a pool worker.
+    options_.compute = [this](const Query& q) {
+      return plan_query(q, &pool_);
+    };
+  }
   if (options_.faults) cache_.set_fault_injector(options_.faults);
   if (options_.load_cache && !options_.cache_file.empty()) cache_.load();
   if (options_.hang_timeout_ms > 0) {
@@ -144,6 +151,7 @@ Response QueryExecutor::execute(const Query& q) {
       if (options_.faults) options_.faults->on_compute();
       Response computed;
       computed.key = key;
+      const auto compute_start = Clock::now();
       try {
         computed.result = options_.compute(task_query).dump();
         computed.ok = true;
@@ -152,6 +160,7 @@ Response QueryExecutor::execute(const Query& q) {
       } catch (...) {
         computed.error = "unknown planner failure";
       }
+      record_compute_micros(micros_since(compute_start));
       // A failed recompute falls back to the previous cached value so a
       // transient planner fault degrades to slightly-stale instead of down.
       if (!computed.ok && options_.serve_stale_on_error) {
@@ -247,6 +256,38 @@ Response QueryExecutor::execute(const Query& q) {
 QueryExecutor::Stats QueryExecutor::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+void QueryExecutor::record_compute_micros(double micros) {
+  std::lock_guard lock(mutex_);
+  const std::size_t window = std::max<std::size_t>(1, options_.compute_time_window);
+  if (compute_micros_.size() < window) {
+    compute_micros_.push_back(micros);
+  } else {
+    compute_micros_[compute_micros_next_] = micros;
+  }
+  compute_micros_next_ = (compute_micros_next_ + 1) % window;
+  ++compute_micros_count_;
+}
+
+QueryExecutor::ComputeTimes QueryExecutor::compute_times() const {
+  std::vector<double> window;
+  ComputeTimes t;
+  {
+    std::lock_guard lock(mutex_);
+    window = compute_micros_;
+    t.samples = compute_micros_count_;
+  }
+  if (window.empty()) return t;
+  std::sort(window.begin(), window.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(window.size() - 1) + 0.5);
+    return window[idx];
+  };
+  t.p50_us = at(0.50);
+  t.p95_us = at(0.95);
+  return t;
 }
 
 std::size_t QueryExecutor::pending() const {

@@ -34,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "netemu/service/query.hpp"
 #include "netemu/service/result_cache.hpp"
@@ -76,9 +77,12 @@ class QueryExecutor {
     /// Fault injector for chaos testing (worker stalls + cache disk
     /// faults).  Not owned; must outlive the executor.  nullptr disables.
     FaultInjector* faults = nullptr;
-    /// Compute function; defaults to plan_query.  Tests inject counters and
-    /// slow functions here.
+    /// Compute function; defaults to plan_query with the executor's own
+    /// pool passed down (estimate trials then run concurrently).  Tests
+    /// inject counters and slow functions here.
     std::function<Json(const Query&)> compute;
+    /// Ring-buffer size for per-query compute-time percentiles (health op).
+    std::size_t compute_time_window = 512;
   };
 
   QueryExecutor();  // all-default Options
@@ -104,6 +108,15 @@ class QueryExecutor {
     std::uint64_t stale_served = 0;    ///< recompute failures served stale
   };
   Stats stats() const;
+
+  /// Compute-time distribution over the last Options::compute_time_window
+  /// computed queries (cache hits and shed requests excluded).
+  struct ComputeTimes {
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    std::uint64_t samples = 0;  ///< lifetime computed-query count
+  };
+  ComputeTimes compute_times() const;
 
   /// Queries queued or running (the admission counter).
   std::size_t pending() const;
@@ -137,10 +150,15 @@ class QueryExecutor {
   ResultCache cache_;
   const Clock::time_point started_ = Clock::now();
 
-  mutable std::mutex mutex_;  // guards flights_, pending_, stats_
+  void record_compute_micros(double micros);
+
+  mutable std::mutex mutex_;  // guards flights_, pending_, stats_, timings
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t pending_ = 0;
   Stats stats_;
+  std::vector<double> compute_micros_;      // ring buffer
+  std::size_t compute_micros_next_ = 0;
+  std::uint64_t compute_micros_count_ = 0;  // lifetime samples
 
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;  // guarded by mutex_

@@ -100,7 +100,7 @@ Json plan_bandwidth(const Query& q) {
   return doc;
 }
 
-Json plan_estimate(const Query& q) {
+Json plan_estimate(const Query& q, ThreadPool* pool) {
   Prng rng(q.seed);
   const Machine machine =
       make_machine(q.family, static_cast<std::size_t>(q.n), q.k, rng);
@@ -117,11 +117,17 @@ Json plan_estimate(const Query& q) {
   ThroughputOptions options;
   options.trials = q.trials;
   options.arbitration = q.arbitration;
+  options.pool = pool;
   const ThroughputResult r =
       measure_throughput(machine, *router, traffic, rng, options);
 
   Json doc = Json::object();
   doc["beta_hat"] = r.rate;
+  doc["beta_hat_min"] = r.rate_min;
+  doc["beta_hat_max"] = r.rate_max;
+  Json spread = Json::array();
+  for (const double rate : r.trial_rates) spread.items().emplace_back(rate);
+  doc["trial_rates"] = std::move(spread);
   doc["machine"] = machine_info(machine);
   doc["router"] = router->name();
   doc["traffic"] = traffic_kind_name(q.traffic);
@@ -132,6 +138,7 @@ Json plan_estimate(const Query& q) {
   doc["makespan"] = r.last.makespan;
   doc["avg_latency"] = r.last.avg_latency;
   doc["static_congestion"] = r.last.static_congestion;
+  doc["simulated_ticks"] = r.total_ticks;
   return doc;
 }
 
@@ -191,10 +198,10 @@ Json plan_bounds(const Query& q) {
   return doc;
 }
 
-Json plan_query(const Query& q) {
+Json plan_query(const Query& q, ThreadPool* pool) {
   switch (q.kind) {
     case QueryKind::kBandwidth: return plan_bandwidth(q);
-    case QueryKind::kEstimate: return plan_estimate(q);
+    case QueryKind::kEstimate: return plan_estimate(q, pool);
     case QueryKind::kMaxHost: return plan_max_host(q);
     case QueryKind::kBounds: return plan_bounds(q);
   }

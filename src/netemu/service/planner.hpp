@@ -6,17 +6,24 @@
 
 #include "netemu/service/query.hpp"
 #include "netemu/util/json.hpp"
+#include "netemu/util/thread_pool.hpp"
 
 namespace netemu {
 
 /// Dispatch on q.kind.  Throws std::runtime_error on infeasible queries
 /// (e.g. bit-reversal traffic on a machine without a power-of-two processor
 /// count); the executor converts that into an error response.
-Json plan_query(const Query& q);
+///
+/// `pool` (may be nullptr = serial) runs the estimate kind's simulation
+/// trials concurrently; the executor passes its own worker pool down, which
+/// is safe because measure_throughput uses the collaborative for_n.  The
+/// result is bit-identical with and without a pool (see throughput.hpp).
+Json plan_query(const Query& q, ThreadPool* pool = nullptr);
 
 // Individual kinds (exposed for tests).
 Json plan_bandwidth(const Query& q);  ///< closed-form beta/Lambda registry
-Json plan_estimate(const Query& q);   ///< packet-simulated beta-hat + bounds
+/// Packet-simulated beta-hat; trials run on `pool` when given.
+Json plan_estimate(const Query& q, ThreadPool* pool = nullptr);
 Json plan_max_host(const Query& q);   ///< Tables 1-3 solver
 Json plan_bounds(const Query& q);     ///< EET vs. Koch et al. baselines
 

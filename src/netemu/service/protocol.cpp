@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "netemu/faultline/injector.hpp"
+#include "netemu/routing/packet_sim.hpp"
 #include "netemu/util/hash.hpp"
 
 namespace netemu {
@@ -72,6 +73,16 @@ std::string health_line(QueryExecutor& exec) {
   flights["hung"] = s.hung;
   flights["stale_served"] = s.stale_served;
 
+  // Per-query compute-time distribution (ring buffer over recent computes)
+  // plus cumulative simulation volume, so perf regressions show up in the
+  // running daemon without external tooling.
+  const QueryExecutor::ComputeTimes times = exec.compute_times();
+  Json compute = Json::object();
+  compute["p50_us"] = times.p50_us;
+  compute["p95_us"] = times.p95_us;
+  compute["samples"] = times.samples;
+  compute["sim_ticks_total"] = simulated_ticks_total();
+
   Json result = Json::object();
   result["status"] = pending >= max_queue ? "overloaded" : "ok";
   result["uptime_s"] = exec.uptime_seconds();
@@ -79,6 +90,7 @@ std::string health_line(QueryExecutor& exec) {
   result["cache"] = std::move(cache);
   result["shed"] = std::move(shed);
   result["flights"] = std::move(flights);
+  result["compute"] = std::move(compute);
 
   Json doc = Json::object();
   doc["ok"] = true;

@@ -104,6 +104,10 @@ std::optional<FamilySpec> parse_family(const std::string& name) {
     ++digits;
   }
   if (digits > 0 && digits < base.size()) {
+    // A suffix too long to be a sane dimension ("mesh99999999999999999999")
+    // is a parse error, not a std::stoul out_of_range crash; 9 digits keeps
+    // the value safely inside unsigned range.
+    if (digits > 9) return std::nullopt;
     k = static_cast<unsigned>(std::stoul(base.substr(base.size() - digits)));
     base = base.substr(0, base.size() - digits);
   }

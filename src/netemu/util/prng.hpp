@@ -84,6 +84,17 @@ class Prng {
     return Prng(operator()() ^ 0xA3C59AC2ULL);
   }
 
+  /// Deterministic indexed substream: stream(seed, i) is independent of
+  /// stream(seed, j) for i != j and depends only on (seed, index) — the
+  /// scheduling-independent seeding used for parallel trials (each trial t
+  /// draws everything from stream(base, t), so results are identical no
+  /// matter how many threads run them or in what order).
+  static constexpr Prng stream(std::uint64_t seed,
+                               std::uint64_t index) noexcept {
+    std::uint64_t s = index;
+    return Prng(seed ^ splitmix64(s));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

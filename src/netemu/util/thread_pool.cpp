@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace netemu {
 
@@ -115,6 +116,63 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   wait_idle();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::for_n(std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first one wins; guarded by mutex
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->fn = fn;
+  shared->count = count;
+
+  // Helpers hold the state by shared_ptr: one that only gets scheduled after
+  // the caller already finished the loop claims an out-of-range index and
+  // exits without touching anything else.
+  auto work = [shared] {
+    for (;;) {
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->count) return;
+      try {
+        shared->fn(i);
+      } catch (...) {
+        std::lock_guard lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          shared->count) {
+        std::lock_guard lock(shared->mutex);  // pairs with the caller's wait
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(count - 1, workers_.size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    if (!submit(work)) break;  // shutting down: the caller covers the rest
+  }
+  work();
+  {
+    std::unique_lock lock(shared->mutex);
+    shared->cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) == shared->count;
+    });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

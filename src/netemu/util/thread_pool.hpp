@@ -59,8 +59,21 @@ class ThreadPool {
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// Indices are split into contiguous blocks, one per worker slot, which is
   /// the right shape for cache-friendly per-vertex loops.
+  ///
+  /// NOT safe to call from inside a pool task: it waits for the whole pool
+  /// to go idle, which includes the calling task itself.  Use for_n there.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Collaborative indexed loop: run fn(i) for i in [0, count), claiming
+  /// indices from a shared atomic counter.  The CALLER participates — it
+  /// keeps claiming and running indices itself — so unlike parallel_for this
+  /// is safe (and deadlock-free) when invoked from inside a pool task, even
+  /// when every worker is busy: the caller simply runs everything.  Helper
+  /// tasks are submitted best-effort; idle workers pick indices up as they
+  /// free.  The first exception thrown by fn is rethrown on the caller after
+  /// all claimed indices finish.
+  void for_n(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -237,6 +238,17 @@ TEST(CacheKey, ParseRejectsBadRequests) {
   EXPECT_NE(error.find("host"), std::string::npos);
   EXPECT_FALSE(query_from_json(
       Json::parse(R"({"op":"estimate","family":"ccc3","n":64})"), &error));
+  // A dimension suffix too large for unsigned must be a parse error, not a
+  // std::stoul out_of_range crash.
+  EXPECT_FALSE(query_from_json(
+      Json::parse(
+          R"({"op":"estimate","family":"mesh99999999999999999999","n":64})"),
+      &error));
+  EXPECT_NE(error.find("family"), std::string::npos);
+  EXPECT_FALSE(query_from_json(
+      Json::parse(R"({"op":"max_host","family":"tree","n":64,
+                      "host":"mesh99999999999999999999"})"),
+      &error));
 }
 
 TEST(CacheKey, Hex64RoundTrip) {
@@ -553,6 +565,23 @@ TEST(Planner, EstimateIsDeterministicInSeed) {
   EXPECT_TRUE(plan_estimate(q).is_object());
 }
 
+TEST(Planner, EstimateExposesTrialSpread) {
+  Query q = estimate_query(64, 7);
+  q.trials = 4;
+  const Json doc = plan_estimate(q);
+  ASSERT_EQ(doc["trial_rates"].items().size(), 4u);
+  double lo = 1e300, hi = -1e300;
+  for (const Json& r : doc["trial_rates"].items()) {
+    lo = std::min(lo, r.as_number());
+    hi = std::max(hi, r.as_number());
+  }
+  EXPECT_DOUBLE_EQ(doc["beta_hat_min"].as_number(), lo);
+  EXPECT_DOUBLE_EQ(doc["beta_hat_max"].as_number(), hi);
+  EXPECT_LE(doc["beta_hat_min"].as_number(), doc["beta_hat"].as_number());
+  EXPECT_GE(doc["beta_hat_max"].as_number(), doc["beta_hat"].as_number());
+  EXPECT_GT(doc["simulated_ticks"].as_uint(), 0u);
+}
+
 TEST(Planner, BandwidthMatchesTheoryRegistry) {
   Query q;
   q.kind = QueryKind::kBandwidth;
@@ -607,6 +636,31 @@ TEST(Protocol, HandlesControlOpsAndBadInput) {
       R"({"op":"shutdown"})", executor, &shutdown_requested));
   EXPECT_TRUE(down["ok"].as_bool());
   EXPECT_TRUE(shutdown_requested);
+}
+
+TEST(Protocol, HealthReportsComputeTimes) {
+  QueryExecutor::Options options;
+  options.compute = [](const Query&) { return Json::object(); };
+  QueryExecutor executor(std::move(options));
+
+  const Json before =
+      Json::parse(handle_request_line(R"({"op":"health"})", executor));
+  ASSERT_TRUE(before["ok"].as_bool());
+  ASSERT_TRUE(before["result"]["compute"].is_object());
+  EXPECT_EQ(before["result"]["compute"]["samples"].as_int(), 0);
+
+  const Response r = executor.execute(estimate_query(64));
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const Json after =
+      Json::parse(handle_request_line(R"({"op":"health"})", executor));
+  const Json& compute = after["result"]["compute"];
+  EXPECT_EQ(compute["samples"].as_int(), 1);
+  EXPECT_GE(compute["p50_us"].as_number(), 0.0);
+  EXPECT_GE(compute["p95_us"].as_number(), compute["p50_us"].as_number());
+  // The cumulative simulation-volume counter is process-wide and
+  // monotonic; other tests may already have advanced it.
+  EXPECT_GE(compute["sim_ticks_total"].as_uint(), 0u);
 }
 
 TEST(Server, LoopbackEndToEnd) {
