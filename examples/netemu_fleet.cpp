@@ -1,0 +1,166 @@
+// netemu_fleet: the replicated front door.  Speaks the same line-delimited
+// JSON protocol as netemu_serve, but instead of computing anything it
+// routes each query to one of N real backends by rendezvous hashing on the
+// query's content address — with circuit-breaker health tracking, failover
+// to the next hash choice, and (optionally) hedged requests for tail
+// latency.  Clients keep using the plain Client class; the fleet is just a
+// faster, harder-to-kill "server".
+//
+//   $ netemu_serve --port 7465 --cache-file a.json &
+//   $ netemu_serve --port 7466 --cache-file b.json &
+//   $ netemu_fleet --port 7470 --backends 7465,7466
+//
+// Extra op: {"op":"fleet"} returns router stats (per-backend health, shed /
+// failover / hedge counters).  {"op":"shutdown"} stops the front door only;
+// backends keep running.  See docs/FLEET.md.
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "netemu/fleet/router.hpp"
+#include "netemu/service/protocol.hpp"
+#include "netemu/service/server.hpp"
+#include "netemu/util/cli.hpp"
+
+using namespace netemu;
+
+namespace {
+
+std::atomic<bool> g_signal_stop{false};
+void on_signal(int) { g_signal_stop.store(true); }
+
+std::vector<FleetBackendConfig> parse_backends(const std::string& spec,
+                                               std::string* error) {
+  std::vector<FleetBackendConfig> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const long port = std::strtol(item.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+      *error = "bad backend port '" + item + "'";
+      return {};
+    }
+    FleetBackendConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(port);
+    out.push_back(cfg);
+  }
+  if (out.empty()) *error = "no backend ports in '" + spec + "'";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  const std::string backends_spec = cli.get("backends");
+  if (backends_spec.empty()) {
+    std::cerr << "netemu_fleet: --backends <port,port,...> is required\n"
+                 "  start one netemu_serve per port first, e.g.\n"
+                 "    netemu_serve --port 7465 --cache-file a.json\n";
+    return 1;
+  }
+  std::string error;
+  FleetRouter::Options options;
+  options.backends = parse_backends(backends_spec, &error);
+  if (options.backends.empty()) {
+    std::cerr << "netemu_fleet: " << error << "\n";
+    return 1;
+  }
+
+  options.health.failure_threshold =
+      static_cast<int>(cli.get_int("failure-threshold", 3));
+  options.health.open_cooldown_ms =
+      static_cast<std::uint64_t>(cli.get_int("cooldown-ms", 500));
+  options.probe_interval_ms =
+      static_cast<std::uint64_t>(cli.get_int("probe-ms", 200));
+  options.client.max_attempts = static_cast<int>(cli.get_int("attempts", 2));
+  options.client.attempt_timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("attempt-timeout-ms", 10000));
+  options.hedge = cli.has("hedge");
+  options.hedge_fixed_ms =
+      static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
+  options.hedge_percentile = cli.get_double("hedge-percentile", 0.95);
+
+  FleetRouter router(options);
+
+  Server::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7470));
+  Server server(
+      [&router](const std::string& line, bool* shutdown_requested) {
+        std::string parse_error;
+        const Json request = Json::parse(line, &parse_error);
+        if (!parse_error.empty() || !request.is_object()) {
+          return protocol_error_line(parse_error.empty() ? "not an object"
+                                                         : parse_error);
+        }
+        const std::string& op = request["op"].as_string();
+        if (op == "shutdown") {
+          // Stops the front door only; backends are independent processes.
+          if (shutdown_requested) *shutdown_requested = true;
+          Json doc = Json::object();
+          doc["ok"] = true;
+          Json result = Json::object();
+          result["stopping"] = true;
+          doc["result"] = std::move(result);
+          return doc.dump();
+        }
+        if (op == "fleet") {
+          Json doc = Json::object();
+          doc["ok"] = true;
+          doc["result"] = fleet_stats_to_json(router.stats());
+          return doc.dump();
+        }
+        FleetRouter::Result r = router.request(request);
+        if (!r.ok) {
+          Json doc = Json::object();
+          doc["ok"] = false;
+          doc["error"] = "fleet: " + r.error;
+          doc["fleet_tried"] = static_cast<std::int64_t>(r.backends_tried);
+          return doc.dump();
+        }
+        // Pass the backend's document through, annotated with who served it
+        // (soak harnesses and curious clients both want to know).
+        Json doc = r.doc;
+        doc["served_by"] = router.options().backends[r.backend].id;
+        if (r.hedged) doc["hedged"] = r.hedge_won ? "won" : "lost";
+        return doc.dump();
+      },
+      server_options);
+
+  if (!server.start(&error)) {
+    std::cerr << "netemu_fleet: " << error << "\n";
+    if (server.last_errno() == EADDRINUSE) {
+      std::cerr << "  port " << server_options.port
+                << " is already bound; pick a different --port or --port 0\n";
+    }
+    return 1;
+  }
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+  std::cerr << "fleet: " << options.backends.size() << " backends ("
+            << backends_spec << "), hedge "
+            << (options.hedge ? "on" : "off") << "\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_signal_stop.load() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  router.stop();
+
+  const FleetRouter::Stats s = router.stats();
+  std::cerr << "routed " << s.requests << " requests (" << s.answered
+            << " answered, " << s.unanswered << " unanswered, "
+            << s.failovers << " failovers, " << s.hedges_fired
+            << " hedges fired / " << s.hedges_won << " won)\n";
+  return 0;
+}

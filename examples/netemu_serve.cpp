@@ -5,11 +5,16 @@
 //   $ netemu_serve --port 7464 --cache-file netemu_cache.json
 //   $ netemu_serve --port 0            # ephemeral port, printed on stdout
 //   $ netemu_serve --fault-plan 'seed=7,drop=0.02,torn=0.3'   # chaos mode
+//   $ netemu_serve --no-journal        # skip the crash-recovery WAL
 //
 // Stop with SIGINT/SIGTERM or a client {"op":"shutdown"}; either path
-// drains in-flight work and saves the cache.
+// drains in-flight work and saves the cache.  A kill -9 skips the save, but
+// with journaling (the default when a cache file is set) every computed
+// result was already fsync'd to <cache-file>.wal, so the next start rejoins
+// warm — the fleet router counts on this (see docs/FLEET.md).
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <iostream>
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("cache-capacity", 4096));
   exec_options.cache_file =
       cli.has("no-persist") ? "" : cli.get("cache-file", "netemu_cache.json");
+  exec_options.cache_journal =
+      !exec_options.cache_file.empty() && !cli.has("no-journal");
   exec_options.hang_timeout_ms =
       static_cast<std::uint64_t>(cli.get_int("hang-timeout-ms", 60000));
   exec_options.retry_after_hint_ms =
@@ -61,10 +68,25 @@ int main(int argc, char** argv) {
     std::cerr << "fault plan active: " << plan->spec() << "\n";
   }
 
+  // Fail fast, before any work is accepted, when the cache path cannot be
+  // written: discovering this at shutdown (or at the first WAL append)
+  // would silently cost every computed result.
+  if (!exec_options.cache_file.empty()) {
+    std::string probe_error;
+    if (!ResultCache::probe_path(exec_options.cache_file, &probe_error)) {
+      std::cerr << "netemu_serve: " << probe_error
+                << "\n  pass --cache-file <writable path> or --no-persist "
+                   "to run memory-only\n";
+      return 1;
+    }
+  }
+
   QueryExecutor executor(exec_options);
   if (!exec_options.cache_file.empty()) {
     std::cerr << "cache: " << exec_options.cache_file << " ("
-              << executor.cache().size() << " entries loaded)\n";
+              << executor.cache().size() << " entries loaded, "
+              << executor.cache().wal_replayed() << " from journal"
+              << (exec_options.cache_journal ? "" : ", journal off") << ")\n";
   }
 
   Server::Options server_options;
@@ -74,6 +96,15 @@ int main(int argc, char** argv) {
   std::string error;
   if (!server.start(&error)) {
     std::cerr << "netemu_serve: " << error << "\n";
+    if (server.last_errno() == EADDRINUSE) {
+      std::cerr << "  port " << server_options.port
+                << " is already bound — another netemu_serve (or fleet "
+                   "backend) may be running.\n  pick a different --port, or "
+                   "--port 0 for an ephemeral one (printed on stdout)\n";
+    } else if (server.last_errno() == EACCES) {
+      std::cerr << "  binding port " << server_options.port
+                << " needs more privileges; ports >= 1024 do not\n";
+    }
     return 1;
   }
   std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;

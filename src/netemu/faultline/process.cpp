@@ -1,0 +1,182 @@
+#include "netemu/faultline/process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+ManagedProcess::~ManagedProcess() {
+  if (pid_ > 0 && exit_status_ < 0) kill_hard();
+  close_stdout();
+}
+
+void ManagedProcess::close_stdout() {
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+bool ManagedProcess::start(const std::vector<std::string>& argv,
+                           std::string* error) {
+  if (argv.empty()) {
+    if (error) *error = "empty argv";
+    return false;
+  }
+  if (pid_ > 0 && exit_status_ < 0) {
+    if (error) *error = "already running (pid " + std::to_string(pid_) + ")";
+    return false;
+  }
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error) *error = std::string("fork: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec.  Only async-signal-safe calls here.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; parent sees EOF on the pipe + status 127
+  }
+
+  ::close(fds[1]);
+  pid_ = pid;
+  stdout_fd_ = fds[0];
+  exit_status_ = -1;
+  buffer_.clear();
+  return true;
+}
+
+bool ManagedProcess::reap(bool block) {
+  if (pid_ <= 0 || exit_status_ >= 0) return exit_status_ >= 0;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, block ? 0 : WNOHANG);
+  if (r != pid_) return false;
+  if (WIFEXITED(status)) {
+    exit_status_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_status_ = 128 + WTERMSIG(status);
+  } else {
+    exit_status_ = 255;
+  }
+  return true;
+}
+
+bool ManagedProcess::running() {
+  if (pid_ <= 0) return false;
+  return !reap(/*block=*/false);
+}
+
+bool ManagedProcess::read_stdout_line(std::string& line, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (stdout_fd_ < 0) return false;
+
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;
+    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) return false;  // timeout
+
+    char chunk[4096];
+    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      close_stdout();  // EOF (child exited or closed stdout)
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void ManagedProcess::kill_hard() {
+  if (pid_ <= 0 || exit_status_ >= 0) return;
+  ::kill(pid_, SIGKILL);
+  reap(/*block=*/true);
+  close_stdout();
+}
+
+void ManagedProcess::terminate(int grace_ms) {
+  if (pid_ <= 0 || exit_status_ >= 0) return;
+  ::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (reap(/*block=*/false)) {
+      close_stdout();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  kill_hard();
+}
+
+std::vector<ProcessFault> process_fault_schedule(std::uint64_t seed,
+                                                 std::size_t backends,
+                                                 std::uint64_t total_requests,
+                                                 int kills) {
+  std::vector<ProcessFault> out;
+  if (backends == 0 || total_requests < 4 || kills <= 0) return out;
+  std::uint64_t mix = seed ^ 0x70726f63657373ULL;  // "process"
+  Prng prng(splitmix64(mix));
+
+  // Fault times land in the middle [10%, 90%] of the run: a kill during the
+  // warmup or after the last request exercises nothing.
+  const std::uint64_t lo = std::max<std::uint64_t>(1, total_requests / 10);
+  const std::uint64_t hi = total_requests - total_requests / 10;
+  for (int i = 0; i < kills; ++i) {
+    ProcessFault f;
+    f.at_request = lo + prng.below(std::max<std::uint64_t>(1, hi - lo));
+    f.backend = static_cast<std::size_t>(prng.below(backends));
+    // Down long enough for the breaker to open and traffic to fail over,
+    // short enough that the restart also happens mid-run.
+    f.down_for_requests =
+        2 + prng.below(std::max<std::uint64_t>(2, total_requests / 8));
+    out.push_back(f);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProcessFault& a, const ProcessFault& b) {
+              return a.at_request < b.at_request;
+            });
+  return out;
+}
+
+}  // namespace netemu

@@ -1,0 +1,86 @@
+#pragma once
+// Process-level fault injection: run real child processes (netemu_serve
+// backends) and kill them — hard — on a deterministic schedule.
+//
+// The I/O-level injector (injector.hpp) perturbs a live process from the
+// inside; this module removes the process entirely.  SIGKILL is the point:
+// no atexit, no signal handler, no cache save — the only state that
+// survives is what the victim already fsync'd (its snapshot + WAL), which
+// is exactly what the fleet's crash-recovery story has to prove.
+//
+// ManagedProcess is deliberately primitive — fork/exec, a pipe on stdout,
+// kill, reap — because the harness needs to trust it more than the code
+// under test.  Not thread-safe; drive each instance from one thread.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netemu {
+
+class ManagedProcess {
+ public:
+  ManagedProcess() = default;
+  ~ManagedProcess();  ///< hard-kills and reaps if still running
+
+  ManagedProcess(const ManagedProcess&) = delete;
+  ManagedProcess& operator=(const ManagedProcess&) = delete;
+
+  /// fork/exec `argv` (argv[0] = executable path) with stdout piped back to
+  /// the parent.  stderr passes through to ours.  False + *error when the
+  /// fork/exec plumbing fails; exec failure of the child itself surfaces as
+  /// an immediate EOF on stdout plus exit_status() != 0.
+  bool start(const std::vector<std::string>& argv, std::string* error);
+
+  /// Still running?  (Reaps on the way: a just-exited child flips this to
+  /// false and records its status.)
+  bool running();
+
+  pid_t pid() const { return pid_; }
+
+  /// Exit status from waitpid once the child is reaped; -1 while running or
+  /// never started.  Killed-by-signal encodes as 128+signo.
+  int exit_status() const { return exit_status_; }
+
+  /// Read one '\n'-terminated line from the child's stdout.  Blocks up to
+  /// timeout_ms; false on timeout or EOF with no complete line.
+  bool read_stdout_line(std::string& line, int timeout_ms);
+
+  /// SIGKILL and reap.  The child gets no chance to flush or save anything.
+  void kill_hard();
+
+  /// SIGTERM, wait up to grace_ms for a clean exit, then SIGKILL.
+  void terminate(int grace_ms = 2000);
+
+ private:
+  void close_stdout();
+  bool reap(bool block);
+
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  int exit_status_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+/// One scheduled process fault: hard-kill `backend` just before request
+/// number `at_request` is issued, and restart it once `down_for_requests`
+/// further requests have been issued.  Request counts — not wall time — keep
+/// the schedule deterministic across machine speeds.
+struct ProcessFault {
+  std::uint64_t at_request = 0;
+  std::size_t backend = 0;
+  std::uint64_t down_for_requests = 0;
+};
+
+/// Deterministic schedule of `kills` kill/restart faults over a run of
+/// `total_requests`, seeded: fault times are sorted and spaced away from the
+/// very start/end of the run, victims are drawn uniformly.  Two runs with
+/// the same arguments produce the same schedule.
+std::vector<ProcessFault> process_fault_schedule(std::uint64_t seed,
+                                                 std::size_t backends,
+                                                 std::uint64_t total_requests,
+                                                 int kills);
+
+}  // namespace netemu

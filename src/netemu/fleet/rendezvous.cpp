@@ -1,0 +1,50 @@
+#include "netemu/fleet/rendezvous.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netemu/util/hash.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu {
+
+std::uint64_t rendezvous_score(std::uint64_t key,
+                               const std::string& backend_id) {
+  // FNV over the id (stable across runs), then one splitmix64 round to mix
+  // the key in: FNV alone is too linear for the top-score comparison to be
+  // uniform across nearby keys.
+  std::uint64_t state = key ^ fnv1a64(backend_id);
+  return splitmix64(state);
+}
+
+std::vector<std::size_t> rendezvous_rank(
+    std::uint64_t key, const std::vector<std::string>& ids) {
+  std::vector<std::size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> scores(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    scores[i] = rendezvous_score(key, ids[i]);
+  }
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) {
+              if (scores[a] != scores[b]) return scores[a] > scores[b];
+              return a < b;
+            });
+  return order;
+}
+
+std::size_t rendezvous_owner(std::uint64_t key,
+                             const std::vector<std::string>& ids) {
+  std::size_t best = static_cast<std::size_t>(-1);
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t score = rendezvous_score(key, ids[i]);
+    if (best == static_cast<std::size_t>(-1) || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace netemu

@@ -1,0 +1,37 @@
+#pragma once
+// Rendezvous (highest-random-weight) hashing: the fleet's query placement.
+//
+// Every (query key, backend id) pair gets a deterministic pseudo-random
+// score; a query is owned by the backend with the highest score, and fails
+// over to the second-highest, third-highest, ... in order.  The property
+// that makes this the right placement for a content-addressed cache fleet:
+// adding or removing a backend only moves the keys that backend itself wins
+// or owned — every other key keeps its owner, so the per-backend result
+// caches stay warm through membership changes (no ring to rebalance, no
+// global remap).  Failover order is per-key, so a down backend's load
+// spreads across the survivors instead of dogpiling one neighbor.
+//
+// Backend identity is a string (the fleet uses "127.0.0.1:<port>"), so
+// scores are stable across process restarts and config reorderings.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netemu {
+
+/// Deterministic score of placing `key` on `backend_id`.
+std::uint64_t rendezvous_score(std::uint64_t key,
+                               const std::string& backend_id);
+
+/// Backend indices ranked best-first for `key` (a permutation of
+/// 0..ids.size()-1).  Ties (score collisions) break toward the lower index,
+/// deterministically.
+std::vector<std::size_t> rendezvous_rank(std::uint64_t key,
+                                         const std::vector<std::string>& ids);
+
+/// The best-ranked index, or SIZE_MAX when `ids` is empty.
+std::size_t rendezvous_owner(std::uint64_t key,
+                             const std::vector<std::string>& ids);
+
+}  // namespace netemu

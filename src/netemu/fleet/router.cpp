@@ -1,0 +1,436 @@
+#include "netemu/fleet/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netemu/fleet/rendezvous.hpp"
+#include "netemu/service/query.hpp"
+#include "netemu/util/hash.hpp"
+
+namespace netemu {
+
+// Shared scoreboard for one hedged request: the primary and (maybe) hedge
+// attempt threads race to deposit the first real answer.  Heap-allocated and
+// shared_ptr-owned because the losing thread can outlive request().
+struct FleetRouter::HedgeState {
+  std::mutex m;
+  std::condition_variable cv;
+  int outstanding = 0;
+  bool have_winner = false;
+  std::size_t winner_index = 0;
+  Attempt winner;
+  bool have_loser = false;  ///< best non-winning attempt (sheds preferred)
+  std::size_t loser_index = 0;
+  Attempt loser;
+};
+
+FleetRouter::FleetRouter(Options options)
+    : options_(std::move(options)),
+      started_(std::chrono::steady_clock::now()) {
+  // Sheds must surface to the router (which fails them over) instead of
+  // being absorbed by the client's own retry_after sleep.
+  options_.client.retry_overloaded = false;
+  options_.latency_window = std::max<std::size_t>(1, options_.latency_window);
+  for (auto& cfg : options_.backends) {
+    if (cfg.id.empty()) cfg.id = "127.0.0.1:" + std::to_string(cfg.port);
+    auto b = std::make_unique<Backend>();
+    b->config = cfg;
+    b->health = BackendHealth(options_.health);
+    ids_.push_back(cfg.id);
+    backends_.push_back(std::move(b));
+  }
+  if (options_.probe_interval_ms > 0 && !backends_.empty()) {
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  }
+}
+
+FleetRouter::~FleetRouter() { stop(); }
+
+void FleetRouter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::uint64_t FleetRouter::now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+}
+
+std::uint64_t FleetRouter::route_key(const Json& request_doc) const {
+  // Route on the same content address the backend caches key on, so a key's
+  // repeats land on the backend whose cache already holds its result.  Ops
+  // that are not queries (stats, health, ...) hash their canonical dump.
+  std::string error;
+  if (auto q = query_from_json(request_doc, &error)) return q->cache_key();
+  return fnv1a64(request_doc.dump());
+}
+
+std::vector<std::size_t> FleetRouter::rank_for(const Json& request_doc) const {
+  return rendezvous_rank(route_key(request_doc), ids_);
+}
+
+std::optional<std::size_t> FleetRouter::next_allowed(
+    const std::vector<std::size_t>& order, std::size_t& pos) {
+  // Caller holds mutex_.  allow() is called here — immediately before the
+  // attempt — so a half-open probe slot is only reserved for a backend that
+  // will actually be tried.
+  const std::uint64_t now = now_ms();
+  while (pos < order.size()) {
+    const std::size_t index = order[pos++];
+    if (backends_[index]->health.allow(now)) return index;
+  }
+  return std::nullopt;
+}
+
+FleetRouter::Attempt FleetRouter::attempt(std::size_t index,
+                                          const Json& request_doc) {
+  std::unique_ptr<Client> client;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Backend& b = *backends_[index];
+    ++b.requests;
+    port = b.config.port;
+    if (!b.idle.empty()) {
+      client = std::move(b.idle.back());
+      b.idle.pop_back();
+    }
+  }
+  if (!client) {
+    client = std::make_unique<Client>(options_.client);
+    client->set_target(port);
+  }
+
+  Client::RequestOutcome outcome = client->request_outcome(request_doc);
+
+  Attempt a;
+  if (outcome.doc) {
+    a.responded = true;
+    a.shed = outcome.failure == RequestFailure::kOverloaded;
+    a.doc = std::move(*outcome.doc);
+  } else {
+    a.failure = outcome.failure;
+    a.error = outcome.error;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Backend& b = *backends_[index];
+    record_attempt_locked(b, a, now_ms());
+    if (client->connected() && !stopping_ &&
+        b.idle.size() < options_.pool_per_backend) {
+      b.idle.push_back(std::move(client));
+    }
+  }
+  return a;
+}
+
+void FleetRouter::record_attempt_locked(Backend& b, const Attempt& a,
+                                        std::uint64_t now) {
+  if (a.responded) {
+    ++b.responses;
+    if (a.shed) ++b.shed;
+    // Any document — even a shed or a server-side error — proves the
+    // transport and the process are alive.
+    b.health.record_success(now);
+  } else {
+    ++b.transport_failures;
+    if (a.failure == RequestFailure::kConnectRefused) ++b.refused;
+    b.health.record_failure(now);
+  }
+}
+
+std::optional<std::uint64_t> FleetRouter::hedge_delay_ms() const {
+  if (!options_.hedge) return std::nullopt;
+  if (options_.hedge_fixed_ms > 0) return options_.hedge_fixed_ms;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (latency_ms_.size() < options_.hedge_min_samples) return std::nullopt;
+    window = latency_ms_;
+  }
+  std::size_t rank = static_cast<std::size_t>(
+      options_.hedge_percentile * static_cast<double>(window.size() - 1));
+  rank = std::min(rank, window.size() - 1);
+  std::nth_element(window.begin(), window.begin() + static_cast<long>(rank),
+                   window.end());
+  const auto delay = static_cast<std::uint64_t>(std::ceil(window[rank]));
+  return std::clamp(delay, options_.hedge_min_delay_ms,
+                    options_.hedge_max_delay_ms);
+}
+
+void FleetRouter::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latency_ms_.size() < options_.latency_window) {
+    latency_ms_.push_back(ms);
+  } else {
+    latency_ms_[latency_next_] = ms;
+  }
+  latency_next_ = (latency_next_ + 1) % options_.latency_window;
+}
+
+void FleetRouter::spawn_attempt(std::size_t index, const Json& request_doc,
+                                std::shared_ptr<HedgeState> state) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> sl(state->m);
+    ++state->outstanding;
+  }
+  std::thread([this, index, request_doc, state] {
+    Attempt a = attempt(index, request_doc);
+    {
+      std::lock_guard<std::mutex> sl(state->m);
+      --state->outstanding;
+      if (a.responded && !a.shed && !state->have_winner) {
+        state->have_winner = true;
+        state->winner_index = index;
+        state->winner = std::move(a);
+      } else if (!state->have_winner &&
+                 (!state->have_loser ||
+                  (a.responded && !state->loser.responded))) {
+        // Keep the most informative non-answer: a shed document beats a
+        // bare transport error (it carries the backend's retry hint).
+        state->have_loser = true;
+        state->loser_index = index;
+        state->loser = std::move(a);
+      }
+    }
+    state->cv.notify_all();
+    {
+      // Notify under the lock: stop() may be waiting to destroy the
+      // router, and must not win the race while we are mid-notify.
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+      inflight_cv_.notify_all();
+    }
+  }).detach();
+}
+
+FleetRouter::Result FleetRouter::request(const Json& request_doc) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+  }
+
+  const std::vector<std::size_t> order =
+      rendezvous_rank(route_key(request_doc), ids_);
+
+  Result out;
+  std::string last_error;
+  Attempt last_shed;  // returned if every candidate sheds
+  std::size_t last_shed_backend = static_cast<std::size_t>(-1);
+  std::size_t pos = 0;
+
+  const auto finish_answered = [&](Attempt&& a, std::size_t responder) {
+    out.ok = true;
+    out.doc = std::move(a.doc);
+    out.backend = responder;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!a.shed) record_latency(elapsed_ms);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++answered_;
+    if (out.backends_tried > 1) {
+      failovers_ += static_cast<std::uint64_t>(out.backends_tried - 1);
+    }
+  };
+
+  while (true) {
+    std::optional<std::size_t> primary;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      primary = next_allowed(order, pos);
+    }
+    if (!primary) break;
+    ++out.backends_tried;
+
+    const std::optional<std::uint64_t> delay = hedge_delay_ms();
+    Attempt a;
+    std::size_t responder = *primary;
+
+    if (delay) {
+      auto state = std::make_shared<HedgeState>();
+      spawn_attempt(*primary, request_doc, state);
+      std::size_t hedge_index = static_cast<std::size_t>(-1);
+      std::unique_lock<std::mutex> sl(state->m);
+      state->cv.wait_for(sl, std::chrono::milliseconds(*delay), [&] {
+        return state->have_winner || state->outstanding == 0;
+      });
+      if (!state->have_winner && state->outstanding > 0) {
+        // Primary is slow: fire the hedge at the next allowed choice.
+        sl.unlock();
+        std::optional<std::size_t> secondary;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          secondary = next_allowed(order, pos);
+          if (secondary) ++hedges_fired_;
+        }
+        if (secondary) {
+          hedge_index = *secondary;
+          out.hedged = true;
+          ++out.backends_tried;
+          spawn_attempt(*secondary, request_doc, state);
+        }
+        sl.lock();
+      }
+      state->cv.wait(sl, [&] {
+        return state->have_winner || state->outstanding == 0;
+      });
+      if (state->have_winner) {
+        a = std::move(state->winner);
+        responder = state->winner_index;
+        if (responder == hedge_index) {
+          out.hedge_won = true;
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++hedges_won_;
+        }
+      } else if (state->have_loser) {
+        a = std::move(state->loser);
+        responder = state->loser_index;
+      }
+    } else {
+      a = attempt(*primary, request_doc);
+    }
+
+    if (a.responded && !a.shed) {
+      finish_answered(std::move(a), responder);
+      return out;
+    }
+    if (a.responded) {
+      last_shed = std::move(a);
+      last_shed_backend = responder;
+      last_error = "all candidates shed";
+    } else if (!a.error.empty()) {
+      last_error = ids_[responder] + ": " + a.error;
+    } else {
+      last_error = ids_[responder] + ": " + request_failure_name(a.failure);
+    }
+    // Transport failure or shed: fail over to the next rendezvous choice.
+  }
+
+  if (last_shed.responded) {
+    // Every live candidate shed: surface the shed document (it carries the
+    // backend's retry_after hint) rather than inventing an error.
+    finish_answered(std::move(last_shed), last_shed_backend);
+    return out;
+  }
+
+  out.error = out.backends_tried == 0
+                  ? "no backend available (all circuit breakers open)"
+                  : "no backend answered; last: " + last_error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++unanswered_;
+    if (out.backends_tried > 1) {
+      failovers_ += static_cast<std::uint64_t>(out.backends_tried - 1);
+    }
+  }
+  return out;
+}
+
+void FleetRouter::probe_loop() {
+  Json probe = Json::object();
+  probe["op"] = "health";
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    probe_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.probe_interval_ms),
+                       [this] { return stopping_; });
+    if (stopping_) return;
+    std::vector<std::size_t> targets;
+    const std::uint64_t now = now_ms();
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      Backend& b = *backends_[i];
+      switch (b.health.state(now)) {
+        case BackendHealth::State::kClosed:
+          // Liveness probe: detect a dead backend before live traffic does.
+          targets.push_back(i);
+          break;
+        case BackendHealth::State::kHalfOpen:
+          // Recovery probe; allow() reserves the single half-open slot.
+          if (b.health.allow(now)) targets.push_back(i);
+          break;
+        case BackendHealth::State::kOpen:
+          break;
+      }
+    }
+    for (std::size_t i : targets) ++backends_[i]->probes;
+    lock.unlock();
+    for (std::size_t i : targets) attempt(i, probe);
+    lock.lock();
+  }
+}
+
+FleetRouter::Stats FleetRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.requests = requests_;
+  s.answered = answered_;
+  s.unanswered = unanswered_;
+  s.failovers = failovers_;
+  s.hedges_fired = hedges_fired_;
+  s.hedges_won = hedges_won_;
+  const std::uint64_t now = now_ms();
+  for (const auto& bp : backends_) {
+    Backend& b = *bp;  // unique_ptr does not propagate const to the pointee
+    BackendStats bs;
+    bs.id = b.config.id;
+    bs.port = b.config.port;
+    bs.state = b.health.state(now);
+    bs.window_failure_rate = b.health.window_failure_rate();
+    bs.requests = b.requests;
+    bs.responses = b.responses;
+    bs.shed = b.shed;
+    bs.refused = b.refused;
+    bs.transport_failures = b.transport_failures;
+    bs.probes = b.probes;
+    bs.ejections = b.health.ejections();
+    s.backends.push_back(std::move(bs));
+  }
+  return s;
+}
+
+Json fleet_stats_to_json(const FleetRouter::Stats& stats) {
+  Json doc = Json::object();
+  doc["requests"] = stats.requests;
+  doc["answered"] = stats.answered;
+  doc["unanswered"] = stats.unanswered;
+  doc["failovers"] = stats.failovers;
+  doc["hedges_fired"] = stats.hedges_fired;
+  doc["hedges_won"] = stats.hedges_won;
+  Json backends = Json::array();
+  for (const auto& b : stats.backends) {
+    Json e = Json::object();
+    e["id"] = b.id;
+    e["port"] = static_cast<std::uint64_t>(b.port);
+    e["state"] = BackendHealth::state_name(b.state);
+    e["window_failure_rate"] = b.window_failure_rate;
+    e["requests"] = b.requests;
+    e["responses"] = b.responses;
+    e["shed"] = b.shed;
+    e["refused"] = b.refused;
+    e["transport_failures"] = b.transport_failures;
+    e["probes"] = b.probes;
+    e["ejections"] = b.ejections;
+    backends.items().push_back(std::move(e));
+  }
+  doc["backends"] = std::move(backends);
+  return doc;
+}
+
+}  // namespace netemu

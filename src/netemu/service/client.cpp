@@ -18,6 +18,17 @@
 
 namespace netemu {
 
+const char* request_failure_name(RequestFailure f) {
+  switch (f) {
+    case RequestFailure::kNone: return "none";
+    case RequestFailure::kConnectRefused: return "connect_refused";
+    case RequestFailure::kTransport: return "transport";
+    case RequestFailure::kProtocol: return "protocol";
+    case RequestFailure::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
 Client::Client() : Client(RetryPolicy()) {}
 
 Client::Client(RetryPolicy policy)
@@ -46,8 +57,10 @@ void Client::set_fault_injector(FaultInjector* injector) {
 
 bool Client::connect(std::uint16_t port, std::string* error) {
   close();
+  connect_errno_ = 0;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
+    connect_errno_ = errno;
     if (error) *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
@@ -56,6 +69,7 @@ bool Client::connect(std::uint16_t port, std::string* error) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    connect_errno_ = errno;
     if (error) {
       *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
                std::strerror(errno);
@@ -117,13 +131,16 @@ bool Client::request_raw(const std::string& request_line,
   return channel_->read_line(response_line);
 }
 
-std::optional<Json> Client::request(const Json& request_doc,
-                                    std::string* error) {
+Client::RequestOutcome Client::request_outcome(const Json& request_doc) {
   const std::string request_line = request_doc.dump();
   std::string response_line;
-  std::string last_error = "not connected";
+
+  RequestOutcome out;
+  out.error = "not connected";
+  out.failure = RequestFailure::kTransport;
 
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    out.attempts = attempt;
     // Count the retry and back off only when another attempt follows.
     const auto retry_after = [&](std::uint64_t hint_ms) {
       if (attempt < policy_.max_attempts) {
@@ -131,12 +148,21 @@ std::optional<Json> Client::request(const Json& request_doc,
         backoff_sleep(attempt - 1, hint_ms);
       }
     };
-    if (fd_ < 0 && !reconnect(&last_error)) {
+    if (fd_ < 0 && !reconnect(&out.error)) {
+      if (connect_errno_ == ECONNREFUSED) {
+        // The backend process is gone: more attempts against the same port
+        // will also be refused, and a backoff sleep only delays the
+        // caller's failover.  Fail fast.
+        out.failure = RequestFailure::kConnectRefused;
+        return out;
+      }
+      out.failure = RequestFailure::kTransport;
       retry_after(0);
       continue;
     }
     if (!request_raw(request_line, response_line)) {
-      last_error = "transport failure (daemon gone?)";
+      out.error = "transport failure (daemon gone?)";
+      out.failure = RequestFailure::kTransport;
       close();  // the stream may be desynced; retry on a fresh connection
       retry_after(0);
       continue;
@@ -144,25 +170,45 @@ std::optional<Json> Client::request(const Json& request_doc,
     std::string parse_error;
     Json doc = Json::parse(response_line, &parse_error);
     if (!parse_error.empty()) {
-      last_error = "bad response: " + parse_error;
+      out.error = "bad response: " + parse_error;
+      out.failure = RequestFailure::kProtocol;
       close();
       retry_after(0);
       continue;
     }
-    if (!doc["ok"].as_bool() && doc["overloaded"].as_bool() &&
-        policy_.retry_overloaded && attempt < policy_.max_attempts) {
-      // Shed by admission control: the connection is fine, the server is
-      // just full.  Honor its hint, then try again without reconnecting.
-      last_error = doc["error"].as_string();
-      retry_after(doc["retry_after_ms"].as_uint(0));
-      continue;
+    if (!doc["ok"].as_bool() && doc["overloaded"].as_bool()) {
+      if (policy_.retry_overloaded && attempt < policy_.max_attempts) {
+        // Shed by admission control: the connection is fine, the server is
+        // just full.  Honor its hint, then try again without reconnecting.
+        out.error = doc["error"].as_string();
+        retry_after(doc["retry_after_ms"].as_uint(0));
+        continue;
+      }
+      // Final answer is a shed: hand the document back, flagged, so a
+      // router can fail the query over to a less-loaded backend.
+      out.doc = std::move(doc);
+      out.failure = RequestFailure::kOverloaded;
+      out.error.clear();
+      return out;
     }
+    out.doc = std::move(doc);
+    out.failure = RequestFailure::kNone;
+    out.error.clear();
+    return out;
+  }
+  return out;
+}
+
+std::optional<Json> Client::request(const Json& request_doc,
+                                    std::string* error) {
+  RequestOutcome out = request_outcome(request_doc);
+  if (out.doc) {
     if (error) error->clear();
-    return doc;
+    return std::move(out.doc);
   }
   if (error) {
-    *error = last_error + " (after " + std::to_string(policy_.max_attempts) +
-             " attempts)";
+    *error = out.error + " (after " + std::to_string(out.attempts) +
+             (out.attempts == 1 ? " attempt)" : " attempts)");
   }
   return std::nullopt;
 }

@@ -9,7 +9,10 @@
 // shedding responses (sleeping the suggested retry_after_ms before trying
 // again).  Retrying is safe because every query op is idempotent — results
 // are content-addressed, so a request whose response was lost re-reads the
-// same address.  request_raw() stays a single-attempt fast path.
+// same address.  A refused connection is the exception: the backend process
+// is down, so request() fails fast (kConnectRefused, no backoff) and lets
+// the caller — typically a FleetRouter — fail over to another backend.
+// request_raw() stays a single-attempt fast path.
 
 #include <cstdint>
 #include <memory>
@@ -23,6 +26,21 @@ namespace netemu {
 
 class LineChannel;
 class FaultInjector;
+
+/// Why a request failed at the transport level (RequestOutcome::failure).
+/// The distinction matters to a multi-backend router: a refused connection
+/// means the backend process is down — eject it and fail over immediately —
+/// while a mid-request transport error may be transient and is worth the
+/// retry/backoff loop.
+enum class RequestFailure {
+  kNone,            ///< a response document arrived (doc is set)
+  kConnectRefused,  ///< backend down (ECONNREFUSED): failed fast, no backoff
+  kTransport,       ///< connection lost / timed out mid-request
+  kProtocol,        ///< response arrived but was not parseable JSON
+  kOverloaded,      ///< final response was an admission-control shed
+};
+
+const char* request_failure_name(RequestFailure f);
 
 class Client {
  public:
@@ -47,13 +65,35 @@ class Client {
   /// The port is remembered so retries can reconnect.
   bool connect(std::uint16_t port, std::string* error = nullptr);
 
+  /// Remember `port` as the reconnect target without connecting yet; the
+  /// first request() connects lazily (and a refused connect fails fast).
+  void set_target(std::uint16_t port) { port_ = port; }
+
   bool connected() const { return fd_ >= 0; }
   void close();
+
+  /// errno of the last failed connect() (0 when it succeeded).
+  int last_connect_errno() const { return connect_errno_; }
 
   /// Send one request document, block for the response document, retrying
   /// per the policy.  Returns nullopt + *error when every attempt failed.
   std::optional<Json> request(const Json& request_doc,
                               std::string* error = nullptr);
+
+  /// The structured result of one request(): the response document when any
+  /// arrived (even a server-side error or a shed — those are authoritative),
+  /// otherwise the transport-level failure kind.  A refused connection
+  /// returns immediately with kConnectRefused — no backoff sleep, no
+  /// further attempts — so a fleet router can eject the backend and fail
+  /// over without eating the retry schedule.
+  struct RequestOutcome {
+    std::optional<Json> doc;
+    RequestFailure failure = RequestFailure::kNone;
+    std::string error;  ///< set when doc is absent
+    int attempts = 0;   ///< attempts actually made
+    bool ok() const { return doc && (*doc)["ok"].as_bool(); }
+  };
+  RequestOutcome request_outcome(const Json& request_doc);
 
   /// Raw variant: exchange pre-serialized lines (the bench's hot loop).
   /// Single attempt, no retries.
@@ -76,7 +116,8 @@ class Client {
   RetryPolicy policy_;
   Prng jitter_;
   int fd_ = -1;
-  std::uint16_t port_ = 0;  ///< last successful connect target
+  std::uint16_t port_ = 0;  ///< reconnect target (last connect / set_target)
+  int connect_errno_ = 0;
   std::uint64_t retries_ = 0;
   FaultInjector* faults_ = nullptr;
   std::unique_ptr<LineChannel> channel_;  // persists read buffer across requests

@@ -22,7 +22,8 @@ QueryExecutor::QueryExecutor() : QueryExecutor(Options()) {}
 
 QueryExecutor::QueryExecutor(Options options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity, options_.cache_file),
+      cache_(options_.cache_capacity, options_.cache_file,
+             options_.cache_journal),
       pool_(options_.threads) {
   if (!options_.compute) {
     // Pass the executor's own pool down so estimate trials run concurrently;

@@ -66,6 +66,9 @@ class QueryExecutor {
     std::size_t cache_capacity = 4096;
     std::string cache_file;         ///< empty = memory-only cache
     bool load_cache = true;         ///< load cache_file on construction
+    /// Write-ahead journal: fsync every put to `<cache_file>.wal` so a
+    /// SIGKILL'd process rejoins warm (see ResultCache).  Needs cache_file.
+    bool cache_journal = false;
     /// Flights older than this are cancelled by the watchdog (waiters get
     /// an error, the admission slot is freed).  0 disables the watchdog.
     std::uint64_t hang_timeout_ms = 0;

@@ -1,6 +1,11 @@
 #include "netemu/service/result_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -13,6 +18,7 @@ namespace netemu {
 namespace {
 
 constexpr const char* kHeaderV2 = R"({"format":"netemu-result-cache-v2"})";
+constexpr const char* kWalHeader = R"({"format":"netemu-result-wal-v1"})";
 
 /// Per-entry checksum: covers both the key and the value so a line whose
 /// bytes were spliced from two entries cannot verify.
@@ -20,10 +26,47 @@ std::string entry_sum(const std::string& key_hex, const std::string& value) {
   return hex64(fnv1a64(value, fnv1a64(key_hex)));
 }
 
+/// One snapshot/journal entry line (without trailing newline): the formats
+/// share it so the loader and the replayer share the validation path.
+void append_entry_line(std::string& out, std::uint64_t key,
+                       const std::string& value) {
+  const std::string key_hex = hex64(key);
+  out += R"({"key":")";
+  out += key_hex;
+  out += R"(","sum":")";
+  out += entry_sum(key_hex, value);
+  out += R"(","value":")";
+  json_escape(value, out);
+  out += "\"}";
+}
+
+/// Validate one checksummed entry line; true and fills key/value when the
+/// line is intact.
+bool parse_entry_line(const std::string& line, std::uint64_t& key,
+                      std::string& value) {
+  std::string error;
+  const Json entry = Json::parse(line, &error);
+  if (!error.empty() || !entry.is_object() ||
+      !parse_hex64(entry["key"].as_string(), key) ||
+      !entry["value"].is_string() ||
+      entry["sum"].as_string() !=
+          entry_sum(entry["key"].as_string(), entry["value"].as_string())) {
+    return false;
+  }
+  value = entry["value"].as_string();
+  return true;
+}
+
 }  // namespace
 
-ResultCache::ResultCache(std::size_t capacity, std::string path)
-    : capacity_(capacity == 0 ? 1 : capacity), path_(std::move(path)) {}
+ResultCache::ResultCache(std::size_t capacity, std::string path, bool journal)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      path_(std::move(path)),
+      journal_(journal && !path_.empty()) {}
+
+ResultCache::~ResultCache() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
 
 void ResultCache::set_fault_injector(FaultInjector* injector) {
   std::lock_guard lock(mutex_);
@@ -44,6 +87,7 @@ std::optional<std::string> ResultCache::get(std::uint64_t key) {
 
 void ResultCache::put(std::uint64_t key, std::string value) {
   std::lock_guard lock(mutex_);
+  if (journal_) wal_append_locked(key, value);
   put_locked(key, std::move(value), /*front=*/true);
 }
 
@@ -68,6 +112,111 @@ void ResultCache::put_locked(std::uint64_t key, std::string value,
     lru_.push_back(Entry{key, std::move(value)});
     index_[key] = std::prev(lru_.end());
   }
+}
+
+bool ResultCache::wal_open_locked(bool truncate) {
+  if (wal_fd_ >= 0 && !truncate) return true;
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  wal_fd_ = ::open(wal_path().c_str(), flags, 0644);
+  if (wal_fd_ < 0) return false;
+  // A fresh (empty) journal starts with its header line so a reader can
+  // tell an intact empty journal from a torn one.
+  const off_t end = ::lseek(wal_fd_, 0, SEEK_END);
+  if (end == 0) {
+    std::string header = kWalHeader;
+    header += '\n';
+    if (::write(wal_fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      ::close(wal_fd_);
+      wal_fd_ = -1;
+      return false;
+    }
+  }
+  return true;
+}
+
+void ResultCache::wal_append_locked(std::uint64_t key,
+                                    const std::string& value) {
+  if (!wal_open_locked(/*truncate=*/false)) {
+    ++wal_append_failures_;
+    return;
+  }
+  std::string line;
+  append_entry_line(line, key, value);
+  line += '\n';
+
+  // Journal appends share the save() fault stream: a clean failure skips
+  // the write, a torn one persists only a prefix — both are what a crash
+  // mid-append leaves behind, and both must be absorbed by replay.
+  std::size_t write_bytes = line.size();
+  bool torn = false;
+  if (faults_) {
+    double fraction = 1.0;
+    switch (faults_->on_disk_write(fraction)) {
+      case FaultInjector::DiskFault::kFail:
+        ++wal_append_failures_;
+        return;
+      case FaultInjector::DiskFault::kTorn:
+        torn = true;
+        write_bytes = static_cast<std::size_t>(
+            static_cast<double>(line.size()) * fraction);
+        break;
+      case FaultInjector::DiskFault::kNone:
+        break;
+    }
+  }
+  ssize_t wrote;
+  do {
+    wrote = ::write(wal_fd_, line.data(), write_bytes);
+  } while (wrote < 0 && errno == EINTR);
+  if (wrote != static_cast<ssize_t>(write_bytes) || torn) {
+    ++wal_append_failures_;
+    return;
+  }
+  // The fsync is the durability point: once it returns, a SIGKILL'd
+  // process recovers this entry on restart.
+  if (::fsync(wal_fd_) != 0) {
+    ++wal_append_failures_;
+    return;
+  }
+  ++wal_appends_;
+}
+
+void ResultCache::wal_reset_locked() {
+  // The snapshot now holds everything the journal did; start it over.
+  if (!wal_open_locked(/*truncate=*/true)) ++wal_append_failures_;
+}
+
+bool ResultCache::replay_wal_locked() {
+  std::ifstream in(wal_path());
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  bool header_ok = header == kWalHeader;
+  std::string line = header_ok ? "" : header;
+  wal_replayed_ = 0;
+  // Journal entries are strictly newer than the snapshot: replay them hot,
+  // overwriting snapshot values.  Each line stands alone; a torn or merged
+  // line is quarantined and replay continues.
+  const auto replay_line = [this](const std::string& l) {
+    if (l.empty()) return;
+    std::uint64_t key = 0;
+    std::string value;
+    if (!parse_entry_line(l, key, value)) {
+      ++corrupt_entries_;
+      return;
+    }
+    put_locked(key, std::move(value), /*front=*/true);
+    ++wal_replayed_;
+  };
+  replay_line(line);
+  while (std::getline(in, line)) replay_line(line);
+  return header_ok || wal_replayed_ > 0;
 }
 
 bool ResultCache::load_v1(const std::string& text) {
@@ -95,8 +244,7 @@ bool ResultCache::load_v1(const std::string& text) {
   return true;
 }
 
-bool ResultCache::load() {
-  if (path_.empty()) return false;
+bool ResultCache::load_snapshot() {
   std::ifstream in(path_);
   if (!in) return false;
 
@@ -117,23 +265,27 @@ bool ResultCache::load() {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     // A final line without its '\n' is a torn tail: its checksum decides.
-    std::string error;
-    const Json entry = Json::parse(line, &error);
     std::uint64_t key = 0;
-    if (!error.empty() || !entry.is_object() ||
-        !parse_hex64(entry["key"].as_string(), key) ||
-        !entry["value"].is_string() ||
-        entry["sum"].as_string() !=
-            entry_sum(entry["key"].as_string(), entry["value"].as_string())) {
+    std::string value;
+    if (!parse_entry_line(line, key, value)) {
       ++corrupt_entries_;
       continue;
     }
     // File entries enter at the cold end and never displace what the live
     // process already cached.
     if (index_.count(key)) continue;
-    put_locked(key, entry["value"].as_string(), /*front=*/false);
+    put_locked(key, std::move(value), /*front=*/false);
   }
   return true;
+}
+
+bool ResultCache::load() {
+  if (path_.empty()) return false;
+  const bool snapshot = load_snapshot();
+  if (!journal_) return snapshot;
+  std::lock_guard lock(mutex_);
+  const bool replayed = replay_wal_locked();
+  return snapshot || replayed;
 }
 
 bool ResultCache::save() {
@@ -142,20 +294,16 @@ bool ResultCache::save() {
   std::string payload = kHeaderV2;
   payload += '\n';
   FaultInjector* faults = nullptr;
+  std::uint64_t appends_at_snapshot = 0;
   {
     std::lock_guard lock(mutex_);
     faults = faults_;
+    appends_at_snapshot = wal_appends_;
     // Dump hot-to-cold: load() appends file entries in order at the cold
     // end of an empty list, which reconstructs exactly this recency order.
     for (const Entry& e : lru_) {
-      const std::string key_hex = hex64(e.key);
-      payload += R"({"key":")";
-      payload += key_hex;
-      payload += R"(","sum":")";
-      payload += entry_sum(key_hex, e.value);
-      payload += R"(","value":")";
-      json_escape(e.value, payload);
-      payload += "\"}\n";
+      append_entry_line(payload, e.key, e.value);
+      payload += '\n';
     }
   }
 
@@ -208,6 +356,33 @@ bool ResultCache::save() {
     ++save_failures_;
     return false;
   }
+  if (journal_) {
+    std::lock_guard lock(mutex_);
+    // Reset only if no put() journaled a new entry while the snapshot was
+    // being written — those entries are NOT in the file just renamed, and
+    // truncating them away would lose them to the next crash.
+    if (wal_appends_ == appends_at_snapshot) wal_reset_locked();
+  }
+  return true;
+}
+
+bool ResultCache::probe_path(const std::string& path, std::string* error) {
+  if (path.empty()) {
+    if (error) *error = "cache path is empty";
+    return false;
+  }
+  const std::string probe = path + ".probe";
+  const int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error) {
+      *error = "cache path '" + path + "' is not writable: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  ::close(fd);
+  ::unlink(probe.c_str());
+  if (error) error->clear();
   return true;
 }
 
@@ -234,6 +409,21 @@ std::uint64_t ResultCache::corrupt_entries() const {
 std::uint64_t ResultCache::save_failures() const {
   std::lock_guard lock(mutex_);
   return save_failures_;
+}
+
+std::uint64_t ResultCache::wal_appends() const {
+  std::lock_guard lock(mutex_);
+  return wal_appends_;
+}
+
+std::uint64_t ResultCache::wal_replayed() const {
+  std::lock_guard lock(mutex_);
+  return wal_replayed_;
+}
+
+std::uint64_t ResultCache::wal_append_failures() const {
+  std::lock_guard lock(mutex_);
+  return wal_append_failures_;
 }
 
 }  // namespace netemu

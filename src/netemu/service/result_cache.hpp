@@ -18,6 +18,15 @@
 // entries (counted, skipped) and keeps every intact one — it never aborts
 // and never crashes.  The v1 whole-document format is still read.
 //
+// Write-ahead journal (opt-in): with journaling on, every live put() also
+// appends a checksummed entry line to `<path>.wal` and fsyncs it, so a
+// process killed between snapshots (SIGKILL, power loss) rejoins warm:
+// load() reads the snapshot, then replays the journal on top of it (newer
+// entries win).  A successful save() resets the journal — it only ever
+// holds the entries written since the last complete snapshot.  Journal
+// lines use the same per-entry checksum as the snapshot, so a tear at any
+// byte offset costs at most the entries past the tear (see docs/SERVICE.md).
+//
 // Thread-safe; every public method takes the internal mutex.
 
 #include <cstdint>
@@ -34,7 +43,10 @@ class FaultInjector;
 class ResultCache {
  public:
   /// capacity = max resident entries (>= 1); path empty = memory-only.
-  explicit ResultCache(std::size_t capacity, std::string path = "");
+  /// journal = append live puts to `<path>.wal` (ignored without a path).
+  explicit ResultCache(std::size_t capacity, std::string path = "",
+                       bool journal = false);
+  ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -43,22 +55,29 @@ class ResultCache {
   std::optional<std::string> get(std::uint64_t key);
 
   /// Insert or overwrite; evicts the least-recently-used entry when full.
+  /// With journaling on, also appends the entry to the WAL (fsync'd).
   void put(std::uint64_t key, std::string value);
 
   /// Merge entries from the disk file (oldest recency; existing in-memory
-  /// entries win).  Corrupt entries are quarantined (see corrupt_entries())
-  /// and loading continues.  False when the file is absent, unreadable, or
-  /// no header survives.
+  /// entries win), then — with journaling on — replay the WAL on top (WAL
+  /// entries are newer than the snapshot, so they win and land hot).
+  /// Corrupt entries are quarantined (see corrupt_entries()) and loading
+  /// continues.  False when neither a snapshot nor any journal entry
+  /// survives.
   bool load();
 
   /// Write every resident entry to the disk file (atomic temp-file+rename,
-  /// per-entry checksums).  False when the cache has no path or the write
-  /// fails (see save_failures()).
+  /// per-entry checksums), then reset the WAL — its entries are now in the
+  /// snapshot.  False when the cache has no path or the write fails (see
+  /// save_failures()); a failed save leaves the WAL untouched.
   bool save();
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   const std::string& path() const { return path_; }
+  bool journal_enabled() const { return journal_; }
+  /// The journal sits beside the snapshot: `<path>.wal`.
+  std::string wal_path() const { return path_.empty() ? "" : path_ + ".wal"; }
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
@@ -66,10 +85,22 @@ class ResultCache {
   std::uint64_t corrupt_entries() const;
   /// save() calls that did not produce a complete file.
   std::uint64_t save_failures() const;
+  /// Journal entry lines appended (fsync'd) so far.
+  std::uint64_t wal_appends() const;
+  /// Journal entries recovered by the last load().
+  std::uint64_t wal_replayed() const;
+  /// Journal appends that failed (write error or injected disk fault).
+  std::uint64_t wal_append_failures() const;
+
+  /// Check that `path` (and, by extension, the WAL beside it) is writable
+  /// by creating and removing a probe file.  Sets *error to an actionable
+  /// message on failure.  Static so callers can check before constructing.
+  static bool probe_path(const std::string& path, std::string* error);
 
   /// Route persistence through a fault injector (chaos testing): saves may
-  /// fail cleanly or leave a torn (truncated) file behind.  Not owned;
-  /// must outlive the cache.  nullptr disables.
+  /// fail cleanly or leave a torn (truncated) file behind; journal appends
+  /// share the same fault stream.  Not owned; must outlive the cache.
+  /// nullptr disables.
   void set_fault_injector(FaultInjector* injector);
 
  private:
@@ -80,9 +111,15 @@ class ResultCache {
 
   void put_locked(std::uint64_t key, std::string value, bool front);
   bool load_v1(const std::string& text);
+  bool load_snapshot();
+  bool replay_wal_locked();
+  void wal_append_locked(std::uint64_t key, const std::string& value);
+  bool wal_open_locked(bool truncate);
+  void wal_reset_locked();
 
   const std::size_t capacity_;
   const std::string path_;
+  const bool journal_;
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
@@ -91,6 +128,10 @@ class ResultCache {
   std::uint64_t misses_ = 0;
   std::uint64_t corrupt_entries_ = 0;
   std::uint64_t save_failures_ = 0;
+  std::uint64_t wal_appends_ = 0;
+  std::uint64_t wal_replayed_ = 0;
+  std::uint64_t wal_append_failures_ = 0;
+  int wal_fd_ = -1;
   FaultInjector* faults_ = nullptr;
 };
 

@@ -16,12 +16,21 @@ namespace netemu {
 Server::Server(QueryExecutor& executor) : Server(executor, Options()) {}
 
 Server::Server(QueryExecutor& executor, Options options)
-    : executor_(executor), options_(options) {}
+    : Server(
+          [&executor](const std::string& line, bool* shutdown_requested) {
+            return handle_request_line(line, executor, shutdown_requested);
+          },
+          options) {}
+
+Server::Server(LineHandler handler, Options options)
+    : handler_(std::move(handler)), options_(options) {}
 
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
+  last_errno_ = 0;
   const auto fail = [this, error](const std::string& msg) {
+    last_errno_ = errno;
     if (error) *error = msg + ": " + std::strerror(errno);
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
@@ -102,7 +111,7 @@ void Server::handle_connection(int fd) {
           "request line exceeds " + std::to_string(options_.max_line) +
           " bytes");
     } else {
-      response = handle_request_line(line, executor_, &shutdown_requested);
+      response = handler_(line, &shutdown_requested);
     }
     if (!channel.write_line(response)) break;
   }

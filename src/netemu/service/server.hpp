@@ -1,17 +1,22 @@
 #pragma once
 // The planner daemon: a localhost TCP listener speaking the line protocol.
 //
+// The listener is decoupled from what answers the lines: a Server runs any
+// LineHandler — the classic one wraps a QueryExecutor (handle_request_line),
+// the fleet front door wraps a FleetRouter that proxies to real backends.
+//
 // Threading model: one accept thread plus one thread per live connection.
-// The executor underneath bounds actual compute concurrency (its pool and
-// admission queue), so connection threads are cheap — they mostly block on
-// socket reads or on a flight.  stop() (or a client's shutdown op followed
-// by wait()) closes the listener, shuts down every live connection socket,
-// and joins all threads; it is safe to call from any thread except a
-// connection handler.
+// The handler underneath bounds actual concurrency (the executor's pool and
+// admission queue, or the router's backends), so connection threads are
+// cheap — they mostly block on socket reads or on a flight.  stop() (or a
+// client's shutdown op followed by wait()) closes the listener, shuts down
+// every live connection socket, and joins all threads; it is safe to call
+// from any thread except a connection handler.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -25,6 +30,12 @@ class FaultInjector;
 
 class Server {
  public:
+  /// Answer one request line (no trailing newline) with one response line;
+  /// set *shutdown_requested to stop the server after the response.
+  using LineHandler =
+      std::function<std::string(const std::string& line,
+                                bool* shutdown_requested)>;
+
   struct Options {
     std::uint16_t port = 7464;  ///< 0 = ephemeral (see port() after start)
     int backlog = 64;
@@ -36,13 +47,20 @@ class Server {
 
   explicit Server(QueryExecutor& executor);  // all-default Options
   Server(QueryExecutor& executor, Options options);
+  /// Serve an arbitrary handler (the fleet front door's constructor).
+  Server(LineHandler handler, Options options);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and spawn the accept thread.  False + *error on failure.
+  /// Bind, listen, and spawn the accept thread.  False + *error on failure;
+  /// last_errno() then holds the failing syscall's errno so callers can
+  /// print actionable messages (EADDRINUSE: port taken).
   bool start(std::string* error = nullptr);
+
+  /// errno of the syscall that failed the last start() (0 on success).
+  int last_errno() const { return last_errno_; }
 
   /// Actual bound port (resolves port 0).
   std::uint16_t port() const { return port_; }
@@ -61,11 +79,12 @@ class Server {
   void handle_connection(int fd);
   void request_stop();
 
-  QueryExecutor& executor_;
+  LineHandler handler_;
   Options options_;
   // Atomic: the accept thread reads it while stop() closes and resets it.
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
+  int last_errno_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable stop_cv_;
