@@ -27,6 +27,7 @@
 #include "netemu/routing/bfs_router.hpp"
 #include "netemu/routing/packet_sim.hpp"
 #include "netemu/routing/throughput.hpp"
+#include "netemu/scope/metrics.hpp"
 #include "netemu/topology/generators.hpp"
 #include "netemu/util/json.hpp"
 
@@ -159,12 +160,6 @@ std::vector<std::vector<Vertex>> baseline_paths(const Machine& m,
   return paths;
 }
 
-double percentile(std::vector<double> sorted_ms, double q) {
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
-  return sorted_ms[idx];
-}
-
 /// Time run_batch on one topology × arbitration case.
 Json run_case(const char* topo_name, const Machine& machine, Arbitration arb,
               int reps) {
@@ -185,7 +180,6 @@ Json run_case(const char* topo_name, const Machine& machine, Arbitration arb,
     wall_ms.push_back(s * 1e3);
     total_s += s;
   }
-  std::sort(wall_ms.begin(), wall_ms.end());
 
   const double ticks = static_cast<double>(stats.makespan);
   const double reps_d = static_cast<double>(reps);
@@ -196,8 +190,8 @@ Json run_case(const char* topo_name, const Machine& machine, Arbitration arb,
   c["messages"] = paths.size();
   c["makespan"] = stats.makespan;
   c["rate"] = stats.rate();
-  c["wall_ms_p50"] = percentile(wall_ms, 0.50);
-  c["wall_ms_p95"] = percentile(wall_ms, 0.95);
+  c["wall_ms_p50"] = scope::exact_quantile(wall_ms, 0.50);
+  c["wall_ms_p95"] = scope::exact_quantile(wall_ms, 0.95);
   c["ticks_per_sec"] = ticks * reps_d / total_s;
   // The headline work metric: simulated message-ticks per wall second.
   c["msg_ticks_per_sec"] =

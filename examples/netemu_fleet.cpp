@@ -10,9 +10,12 @@
 //   $ netemu_serve --port 7466 --cache-file b.json &
 //   $ netemu_fleet --port 7470 --backends 7465,7466
 //
-// Extra op: {"op":"fleet"} returns router stats (per-backend health, shed /
-// failover / hedge counters).  {"op":"shutdown"} stops the front door only;
-// backends keep running.  See docs/FLEET.md.
+// Extra ops: {"op":"fleet"} returns router stats (per-backend health, shed /
+// failover / hedge counters); {"op":"trace","id":...} merges the fleet's
+// span records with every backend's; {"op":"events"} dumps the fleet's
+// flight recorder (breaker transitions, hedge outcomes).  {"op":"shutdown"}
+// stops the front door only; backends keep running.  See docs/FLEET.md and
+// docs/SCOPE.md.
 
 #include <atomic>
 #include <cerrno>
@@ -23,8 +26,9 @@
 #include <sstream>
 #include <thread>
 
+#include "netemu/fleet/front_door.hpp"
 #include "netemu/fleet/router.hpp"
-#include "netemu/service/protocol.hpp"
+#include "netemu/scope/flight_recorder.hpp"
 #include "netemu/service/server.hpp"
 #include "netemu/util/cli.hpp"
 
@@ -90,49 +94,19 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
   options.hedge_percentile = cli.get_double("hedge-percentile", 0.95);
 
+  // A crashing front door leaves its last breaker/hedge events on stderr.
+  scope::install_crash_handler();
+
   FleetRouter router(options);
+  FleetFrontDoor::Options door_options;
+  door_options.trace_all = cli.has("trace-all");
+  FleetFrontDoor front_door(router, door_options);
 
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7470));
   Server server(
-      [&router](const std::string& line, bool* shutdown_requested) {
-        std::string parse_error;
-        const Json request = Json::parse(line, &parse_error);
-        if (!parse_error.empty() || !request.is_object()) {
-          return protocol_error_line(parse_error.empty() ? "not an object"
-                                                         : parse_error);
-        }
-        const std::string& op = request["op"].as_string();
-        if (op == "shutdown") {
-          // Stops the front door only; backends are independent processes.
-          if (shutdown_requested) *shutdown_requested = true;
-          Json doc = Json::object();
-          doc["ok"] = true;
-          Json result = Json::object();
-          result["stopping"] = true;
-          doc["result"] = std::move(result);
-          return doc.dump();
-        }
-        if (op == "fleet") {
-          Json doc = Json::object();
-          doc["ok"] = true;
-          doc["result"] = fleet_stats_to_json(router.stats());
-          return doc.dump();
-        }
-        FleetRouter::Result r = router.request(request);
-        if (!r.ok) {
-          Json doc = Json::object();
-          doc["ok"] = false;
-          doc["error"] = "fleet: " + r.error;
-          doc["fleet_tried"] = static_cast<std::int64_t>(r.backends_tried);
-          return doc.dump();
-        }
-        // Pass the backend's document through, annotated with who served it
-        // (soak harnesses and curious clients both want to know).
-        Json doc = r.doc;
-        doc["served_by"] = router.options().backends[r.backend].id;
-        if (r.hedged) doc["hedged"] = r.hedge_won ? "won" : "lost";
-        return doc.dump();
+      [&front_door](const std::string& line, bool* shutdown_requested) {
+        return front_door.handle_line(line, shutdown_requested);
       },
       server_options);
 

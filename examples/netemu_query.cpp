@@ -5,6 +5,9 @@
 //   $ netemu_query estimate --family butterfly --n 64 --seed 7
 //   $ netemu_query bounds --guest Tree --host mesh2 --n 65536
 //   $ netemu_query ping | stats | shutdown
+//   $ netemu_query estimate --family ccc --n 512 --trace   # traced query:
+//     mints a trace id, prints it with the answer; retrieve the span set
+//     with `netemu_query trace --id <hex>` (see docs/SCOPE.md)
 //
 // By default it talks to a running netemu_serve on --port (7464).  With
 // --local it executes the query in-process instead — no daemon needed —
@@ -13,9 +16,11 @@
 
 #include <iostream>
 
+#include "netemu/scope/trace.hpp"
 #include "netemu/service/client.hpp"
 #include "netemu/service/protocol.hpp"
 #include "netemu/util/cli.hpp"
+#include "netemu/util/hash.hpp"
 
 using namespace netemu;
 
@@ -26,13 +31,17 @@ int usage(const std::string& program) {
       << "usage: " << program
       << " [--local] [--port P] <op> [flags]\n"
          "  ops: bandwidth | estimate | max_host | bounds | ping | stats |"
-         " shutdown\n"
+         " trace | events | shutdown\n"
          "  query flags: --family/--guest F  --host F  --n N  --k K"
          "  --host_k K  --m M\n"
          "               --router default|bfs|valiant  --traffic symmetric|"
          "quasi|permutation|bitrev|transpose|hotspot\n"
          "               --arbitration farthest|fifo|random  --seed S"
          "  --trials T  --deadline-ms D\n"
+         "  --trace        mint a scope trace id and send it with the query"
+         " (id echoed on the response)\n"
+         "  trace op: --id <hex64>  retrieve the span set of a traced"
+         " query\n"
          "  --local flags: --cache-file F (default netemu_cache.json)"
          "  --cache-capacity N\n"
          "  --attempts N   transport retries per request (default 3)\n"
@@ -82,6 +91,13 @@ int main(int argc, char** argv) {
   copy_flag(cli, "seed", "seed", true, request);
   copy_flag(cli, "trials", "trials", true, request);
   copy_flag(cli, "deadline-ms", "deadline_ms", true, request);
+  copy_flag(cli, "id", "id", false, request);  // trace retrieval op
+  if (cli.has("trace")) {
+    // Client-minted trace id: the edge owns the id, every layer (fleet,
+    // backend) records spans under it.
+    request["trace"] = hex64(scope::mint_trace_id());
+    std::cerr << "trace id: " << request["trace"].as_string() << "\n";
+  }
 
   std::string response_line;
   if (cli.has("local")) {

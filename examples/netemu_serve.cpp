@@ -23,6 +23,7 @@
 
 #include "netemu/faultline/fault_plan.hpp"
 #include "netemu/faultline/injector.hpp"
+#include "netemu/scope/flight_recorder.hpp"
 #include "netemu/service/server.hpp"
 #include "netemu/util/cli.hpp"
 
@@ -35,6 +36,10 @@ void on_signal(int) { g_signal_stop.store(true); }
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+
+  // A fatal signal dumps the scope flight recorder (recent sheds, watchdog
+  // fires, injected faults — with trace ids) to stderr before re-raising.
+  scope::install_crash_handler();
 
   QueryExecutor::Options exec_options;
   exec_options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));

@@ -1,0 +1,130 @@
+#include "netemu/fleet/front_door.hpp"
+
+#include "netemu/scope/exposition.hpp"
+#include "netemu/scope/flight_recorder.hpp"
+#include "netemu/scope/trace.hpp"
+#include "netemu/service/protocol.hpp"
+#include "netemu/util/hash.hpp"
+
+namespace netemu {
+
+namespace {
+
+std::string error_line(const std::string& message) {
+  Json doc = Json::object();
+  doc["ok"] = false;
+  doc["error"] = message;
+  return doc.dump();
+}
+
+std::string ok_line(Json result) {
+  Json doc = Json::object();
+  doc["ok"] = true;
+  doc["result"] = std::move(result);
+  return doc.dump();
+}
+
+}  // namespace
+
+FleetFrontDoor::FleetFrontDoor(FleetRouter& router, Options options)
+    : router_(router), options_(options) {}
+
+std::string FleetFrontDoor::handle_trace(const Json& request) {
+  const Json& id = request["id"];
+  if (!id.is_string()) return error_line("trace: missing string field 'id'");
+  const std::uint64_t trace_id = scope::parse_trace_id(id.as_string());
+  if (trace_id == 0) {
+    return error_line("trace: 'id' must be a nonzero hex64 id");
+  }
+
+  // Merge order: the fleet's own spans first (the request reached us before
+  // any backend), then each backend's, in backend order.  Timestamps are
+  // per-process monotonic and NOT comparable across sites — the "site"
+  // annotation is the cross-process ordering key.
+  Json spans = Json::array();
+  for (const scope::Span& span : scope::TraceStore::global().get(trace_id)) {
+    Json s = scope::span_to_json(span);
+    s["site"] = "fleet";
+    spans.items().push_back(std::move(s));
+  }
+
+  Json fan = Json::object();
+  fan["op"] = "trace";
+  fan["id"] = hex64(trace_id);
+  for (FleetRouter::BroadcastReply& reply : router_.broadcast(fan)) {
+    const Json& result = reply.doc["result"];
+    if (!reply.doc["ok"].as_bool() || !result["found"].as_bool()) continue;
+    const std::string& site =
+        router_.options().backends[reply.backend].id;
+    for (const Json& span : result["spans"].items()) {
+      Json s = span;
+      s["site"] = site;
+      spans.items().push_back(std::move(s));
+    }
+  }
+
+  Json result = Json::object();
+  result["trace"] = hex64(trace_id);
+  result["found"] = !spans.items().empty();
+  result["spans"] = std::move(spans);
+  return ok_line(std::move(result));
+}
+
+std::string FleetFrontDoor::handle_line(const std::string& line,
+                                        bool* shutdown_requested) {
+  std::string parse_error;
+  Json request = Json::parse(line, &parse_error);
+  if (!parse_error.empty() || !request.is_object()) {
+    return protocol_error_line(parse_error.empty() ? "not an object"
+                                                   : parse_error);
+  }
+
+  const std::string& op = request["op"].as_string();
+  if (op == "shutdown") {
+    // Stops the front door only; backends are independent processes.
+    if (shutdown_requested) *shutdown_requested = true;
+    Json result = Json::object();
+    result["stopping"] = true;
+    return ok_line(std::move(result));
+  }
+  if (op == "fleet") {
+    return ok_line(fleet_stats_to_json(router_.stats()));
+  }
+  if (op == "events") {
+    Json result = Json::object();
+    result["total"] = scope::FlightRecorder::global().total();
+    result["events"] = scope::flight_recorder_to_json();
+    return ok_line(std::move(result));
+  }
+  if (op == "trace") return handle_trace(request);
+
+  // Trace minting: "trace":true (or trace_all) turns into a fresh id the
+  // backends and the router's own spans will record under.
+  if (request["trace"].is_bool()) {
+    if (request["trace"].as_bool()) {
+      request["trace"] = hex64(scope::mint_trace_id());
+    } else {
+      request.fields().erase("trace");
+    }
+  } else if (options_.trace_all && !request["trace"].is_string() &&
+             query_kind_from_name(op).has_value()) {
+    request["trace"] = hex64(scope::mint_trace_id());
+  }
+
+  FleetRouter::Result r = router_.request(request);
+  if (!r.ok) {
+    Json doc = Json::object();
+    doc["ok"] = false;
+    doc["error"] = "fleet: " + r.error;
+    doc["fleet_tried"] = static_cast<std::int64_t>(r.backends_tried);
+    return doc.dump();
+  }
+  // Pass the backend's document through, annotated with who served it
+  // (soak harnesses and curious clients both want to know).
+  Json doc = r.doc;
+  doc["served_by"] = router_.options().backends[r.backend].id;
+  if (r.hedged) doc["hedged"] = r.hedge_won ? "won" : "lost";
+  return doc.dump();
+}
+
+}  // namespace netemu

@@ -1,0 +1,52 @@
+#pragma once
+// The fleet front door: the protocol handler netemu_fleet plugs between its
+// listening Server and a FleetRouter.  Library code (not example glue) so
+// tests can drive a whole fleet in-process, line in / line out.
+//
+// Op handling:
+//   shutdown  -> ack; stops the front door only (backends are independent)
+//   fleet     -> router stats (per-backend health, shed/failover/hedge)
+//   events    -> this process's scope flight recorder (breaker transitions
+//                and hedge outcomes, with trace ids)
+//   trace     -> span merge: the fleet's own spans (site "fleet") plus the
+//                op fanned out to EVERY backend, each backend's spans
+//                annotated with the site that recorded them
+//   queries   -> routed via FleetRouter::request; the response document is
+//                passed through annotated with "served_by" (and "hedged").
+//
+// Trace minting: a query carrying "trace":true (boolean) gets a fresh
+// trace id minted here — for clients that want tracing but cannot mint
+// (shell one-liners).  With Options::trace_all every untraced query gets
+// one.  String "trace" ids pass through untouched.
+
+#include <string>
+
+#include "netemu/fleet/router.hpp"
+#include "netemu/util/json.hpp"
+
+namespace netemu {
+
+class FleetFrontDoor {
+ public:
+  struct Options {
+    /// Mint a trace id for every query that did not bring one.  Off by
+    /// default: tracing every request makes every backend record spans.
+    bool trace_all = false;
+  };
+
+  explicit FleetFrontDoor(FleetRouter& router, Options options);
+  explicit FleetFrontDoor(FleetRouter& router)
+      : FleetFrontDoor(router, Options()) {}
+
+  /// Handle one request line (no trailing newline); returns the response
+  /// line.  The fleet-side twin of handle_request_line().
+  std::string handle_line(const std::string& line, bool* shutdown_requested);
+
+ private:
+  std::string handle_trace(const Json& request);
+
+  FleetRouter& router_;
+  Options options_;
+};
+
+}  // namespace netemu

@@ -4,10 +4,42 @@
 #include <cmath>
 
 #include "netemu/fleet/rendezvous.hpp"
+#include "netemu/scope/flight_recorder.hpp"
+#include "netemu/scope/metrics.hpp"
+#include "netemu/scope/trace.hpp"
 #include "netemu/service/query.hpp"
 #include "netemu/util/hash.hpp"
 
 namespace netemu {
+
+namespace {
+
+// The trace id a request document carries (0 = untraced).  The fleet reads
+// it for its own spans/events and forwards the document untouched.
+std::uint64_t doc_trace_id(const Json& request_doc) {
+  return scope::parse_trace_id(request_doc["trace"].as_string());
+}
+
+scope::Counter& hedges_fired_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_fleet_hedges_fired_total", "Hedge attempts fired by the fleet");
+  return c;
+}
+
+scope::Counter& hedges_won_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_fleet_hedges_won_total", "Hedge attempts that answered first");
+  return c;
+}
+
+scope::Counter& breaker_transitions_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_fleet_breaker_transitions_total",
+      "Circuit-breaker state transitions observed by the fleet");
+  return c;
+}
+
+}  // namespace
 
 // Shared scoreboard for one hedged request: the primary and (maybe) hedge
 // attempt threads race to deposit the first real answer.  Heap-allocated and
@@ -77,6 +109,16 @@ std::vector<std::size_t> FleetRouter::rank_for(const Json& request_doc) const {
   return rendezvous_rank(route_key(request_doc), ids_);
 }
 
+std::vector<FleetRouter::BroadcastReply> FleetRouter::broadcast(
+    const Json& request_doc) {
+  std::vector<BroadcastReply> replies;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Attempt a = attempt(i, request_doc);
+    if (a.responded) replies.push_back(BroadcastReply{i, std::move(a.doc)});
+  }
+  return replies;
+}
+
 std::optional<std::size_t> FleetRouter::next_allowed(
     const std::vector<std::size_t>& order, std::size_t& pos) {
   // Caller holds mutex_.  allow() is called here — immediately before the
@@ -85,7 +127,10 @@ std::optional<std::size_t> FleetRouter::next_allowed(
   const std::uint64_t now = now_ms();
   while (pos < order.size()) {
     const std::size_t index = order[pos++];
-    if (backends_[index]->health.allow(now)) return index;
+    const bool allowed = backends_[index]->health.allow(now);
+    // allow() may have lazily moved an expired-open breaker to half-open.
+    note_breaker_locked(*backends_[index], now, 0);
+    if (allowed) return index;
   }
   return std::nullopt;
 }
@@ -124,7 +169,7 @@ FleetRouter::Attempt FleetRouter::attempt(std::size_t index,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Backend& b = *backends_[index];
-    record_attempt_locked(b, a, now_ms());
+    record_attempt_locked(b, a, now_ms(), doc_trace_id(request_doc));
     if (client->connected() && !stopping_ &&
         b.idle.size() < options_.pool_per_backend) {
       b.idle.push_back(std::move(client));
@@ -134,7 +179,8 @@ FleetRouter::Attempt FleetRouter::attempt(std::size_t index,
 }
 
 void FleetRouter::record_attempt_locked(Backend& b, const Attempt& a,
-                                        std::uint64_t now) {
+                                        std::uint64_t now,
+                                        std::uint64_t trace_id) {
   if (a.responded) {
     ++b.responses;
     if (a.shed) ++b.shed;
@@ -146,6 +192,20 @@ void FleetRouter::record_attempt_locked(Backend& b, const Attempt& a,
     if (a.failure == RequestFailure::kConnectRefused) ++b.refused;
     b.health.record_failure(now);
   }
+  note_breaker_locked(b, now, trace_id);
+}
+
+void FleetRouter::note_breaker_locked(Backend& b, std::uint64_t now,
+                                      std::uint64_t trace_id) const {
+  const BackendHealth::State s = b.health.state(now);
+  if (s == b.last_state) return;
+  breaker_transitions_counter().inc();
+  scope::FlightRecorder::global().record(
+      scope::FlightRecorder::Kind::kBreaker, trace_id,
+      "backend " + b.config.id + ": " +
+          BackendHealth::state_name(b.last_state) + " -> " +
+          BackendHealth::state_name(s));
+  b.last_state = s;
 }
 
 std::optional<std::uint64_t> FleetRouter::hedge_delay_ms() const {
@@ -219,6 +279,8 @@ void FleetRouter::spawn_attempt(std::size_t index, const Json& request_doc,
 
 FleetRouter::Result FleetRouter::request(const Json& request_doc) {
   const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t tid = doc_trace_id(request_doc);
+  scope::SpanTimer route_span(tid, "fleet.route");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++requests_;
@@ -237,6 +299,8 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
     out.ok = true;
     out.doc = std::move(a.doc);
     out.backend = responder;
+    route_span.set_note("backend=" + ids_[responder] + " tried=" +
+                        std::to_string(out.backends_tried));
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
@@ -266,6 +330,7 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
       auto state = std::make_shared<HedgeState>();
       spawn_attempt(*primary, request_doc, state);
       std::size_t hedge_index = static_cast<std::size_t>(-1);
+      std::uint64_t hedge_fired_us = 0;
       std::unique_lock<std::mutex> sl(state->m);
       state->cv.wait_for(sl, std::chrono::milliseconds(*delay), [&] {
         return state->have_winner || state->outstanding == 0;
@@ -283,6 +348,13 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
           hedge_index = *secondary;
           out.hedged = true;
           ++out.backends_tried;
+          hedge_fired_us = scope::now_us();
+          hedges_fired_counter().inc();
+          scope::FlightRecorder::global().record(
+              scope::FlightRecorder::Kind::kHedge, tid,
+              "fired at " + ids_[*secondary] + " (primary " +
+                  ids_[*primary] + " slower than " +
+                  std::to_string(*delay) + " ms)");
           spawn_attempt(*secondary, request_doc, state);
         }
         sl.lock();
@@ -295,12 +367,25 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
         responder = state->winner_index;
         if (responder == hedge_index) {
           out.hedge_won = true;
+          hedges_won_counter().inc();
           std::lock_guard<std::mutex> lock(mutex_);
           ++hedges_won_;
         }
       } else if (state->have_loser) {
         a = std::move(state->loser);
         responder = state->loser_index;
+      }
+      if (out.hedged) {
+        const char* outcome = out.hedge_won ? "won" : "lost";
+        scope::FlightRecorder::global().record(
+            scope::FlightRecorder::Kind::kHedge, tid,
+            std::string(outcome) + " (responder " +
+                (responder < ids_.size() ? ids_[responder] : "none") + ")");
+        if (tid != 0) {
+          scope::TraceStore::global().add(
+              tid, scope::Span{"fleet.hedge", hedge_fired_us,
+                               scope::now_us() - hedge_fired_us, outcome});
+        }
       }
     } else {
       a = attempt(*primary, request_doc);
@@ -332,6 +417,8 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
   out.error = out.backends_tried == 0
                   ? "no backend available (all circuit breakers open)"
                   : "no backend answered; last: " + last_error;
+  route_span.set_note("unanswered tried=" +
+                      std::to_string(out.backends_tried));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++unanswered_;

@@ -91,11 +91,26 @@ class FleetRouter {
   FleetRouter& operator=(const FleetRouter&) = delete;
 
   /// Route one request document and block for its response.
+  ///
+  /// Observability: when the document carries a "trace" field, the whole
+  /// residency is recorded as a `fleet.route` span (note: responder + tries)
+  /// and any hedge as a `fleet.hedge` span (note: won | lost) in this
+  /// process's scope::TraceStore; every breaker transition and hedge
+  /// outcome additionally lands in the scope flight recorder.
   Result request(const Json& request_doc);
 
   /// Rendezvous rank of every backend for this document's content address
   /// (exposed for tests and the `fleet` op).
   std::vector<std::size_t> rank_for(const Json& request_doc) const;
+
+  /// Send one document to EVERY backend (ignoring breaker state — this is
+  /// an admin fan-out for `trace`/`stats` merging, not a routed query) and
+  /// collect the responses that arrived.
+  struct BroadcastReply {
+    std::size_t backend = 0;
+    Json doc;
+  };
+  std::vector<BroadcastReply> broadcast(const Json& request_doc);
 
   struct BackendStats {
     std::string id;
@@ -145,14 +160,20 @@ class FleetRouter {
     std::uint64_t refused = 0;
     std::uint64_t transport_failures = 0;
     std::uint64_t probes = 0;
+    /// Last breaker state seen by note_breaker_locked (event de-dup).
+    BackendHealth::State last_state = BackendHealth::State::kClosed;
   };
   struct HedgeState;
 
   std::uint64_t now_ms() const;
   std::uint64_t route_key(const Json& request_doc) const;
   Attempt attempt(std::size_t index, const Json& request_doc);
-  void record_attempt_locked(Backend& b, const Attempt& a,
-                             std::uint64_t now);
+  void record_attempt_locked(Backend& b, const Attempt& a, std::uint64_t now,
+                             std::uint64_t trace_id);
+  /// Emit a flight-recorder kBreaker event if `b`'s breaker state changed
+  /// since last observed.  Caller holds mutex_.
+  void note_breaker_locked(Backend& b, std::uint64_t now,
+                           std::uint64_t trace_id) const;
   /// Next allowed candidate in `order` strictly after position `pos`
   /// (reserves a half-open probe slot); nullopt when none.
   std::optional<std::size_t> next_allowed(

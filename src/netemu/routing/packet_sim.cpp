@@ -4,11 +4,40 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "netemu/scope/metrics.hpp"
+
 namespace netemu {
 
 namespace {
 
-std::atomic<std::uint64_t> g_simulated_ticks{0};
+// Simulation-volume counters (scope registry; see docs/SCOPE.md).  Adds
+// happen once per run_batch — batch granularity, never per tick — so the
+// tick loop's hot path is untouched.
+scope::Counter& sim_ticks_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_sim_ticks_total",
+      "Packet-simulator ticks executed since process start");
+  return c;
+}
+
+scope::Counter& sim_batches_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_sim_batches_total", "run_batch calls since process start");
+  return c;
+}
+
+scope::Counter& sim_messages_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_sim_messages_total",
+      "Messages delivered by run_batch since process start");
+  return c;
+}
+
+void record_batch_volume(std::uint64_t ticks, std::uint64_t messages) {
+  sim_ticks_counter().add(ticks);
+  sim_batches_counter().inc();
+  sim_messages_counter().add(messages);
+}
 
 // Arbitration policies as key functors: each maps an active-list SLOT to a
 // packed 64-bit priority key (smaller == higher priority), snapshotted when
@@ -47,8 +76,14 @@ constexpr std::uint32_t slot_of(std::uint64_t packed) {
 
 }  // namespace
 
-std::uint64_t simulated_ticks_total() {
-  return g_simulated_ticks.load(std::memory_order_relaxed);
+std::uint64_t simulated_ticks_total() { return sim_ticks_counter().value(); }
+
+std::uint64_t simulated_batches_total() {
+  return sim_batches_counter().value();
+}
+
+std::uint64_t simulated_messages_total() {
+  return sim_messages_counter().value();
 }
 
 const char* arbitration_name(Arbitration a) {
@@ -268,7 +303,7 @@ BatchStats PacketSimulator::run_batch_impl(
         na = keep;
       }
     }
-    g_simulated_ticks.fetch_add(tick, std::memory_order_relaxed);
+    record_batch_volume(tick, m);
     stats.avg_latency = m == 0 ? 0.0 : latency_sum / static_cast<double>(m);
     return stats;
   }
@@ -448,7 +483,7 @@ BatchStats PacketSimulator::run_batch_impl(
     }
   }
 
-  g_simulated_ticks.fetch_add(tick, std::memory_order_relaxed);
+  record_batch_volume(tick, m);
   stats.avg_latency = m == 0 ? 0.0 : latency_sum / static_cast<double>(m);
   return stats;
 }

@@ -50,9 +50,13 @@ struct BatchStats {
   bool operator==(const BatchStats&) const = default;
 };
 
-/// Process-wide count of ticks simulated by every run_batch since start;
-/// exported so the service health report can expose simulation volume.
+/// Process-wide simulation-volume counters (scope registry-backed; one add
+/// per run_batch, never per tick).  Monotone within a process; pair with
+/// scope::process_epoch_unix_s() for reset-safe reads across restarts —
+/// the health/stats ops report exactly that pair.
 std::uint64_t simulated_ticks_total();
+std::uint64_t simulated_batches_total();
+std::uint64_t simulated_messages_total();
 
 class PacketSimulator {
  public:

@@ -1,0 +1,34 @@
+#pragma once
+// netemu::scope — exposition: rendering a Registry snapshot (plus the
+// flight recorder) for consumers.
+//
+// Two formats, both served through the line protocol's `stats` op:
+//   * JSON   — {"counters":{...},"gauges":{...},"histograms":{...}}, the
+//              shape netemu_top consumes;
+//   * Prometheus text — `# HELP` / `# TYPE` / samples, histograms emitted
+//              as cumulative `_bucket{le="..."}` series plus `_sum` and
+//              `_count`, ready for a scrape proxy to forward verbatim.
+//
+// Histogram buckets are sparse in both formats: only non-empty buckets are
+// emitted (plus the +Inf catch-all), so a freshly started process costs a
+// few hundred bytes, not kBuckets lines per histogram.
+
+#include <string>
+
+#include "netemu/scope/metrics.hpp"
+#include "netemu/util/json.hpp"
+
+namespace netemu::scope {
+
+/// JSON rendering of a registry snapshot.
+Json registry_to_json(const Registry& registry);
+
+/// Prometheus text exposition (version 0.0.4) of a registry snapshot.
+/// Metric names must already be Prometheus-legal ([a-zA-Z_:][a-zA-Z0-9_:]*);
+/// the netemu metric catalog is (docs/SCOPE.md).
+std::string registry_to_prometheus(const Registry& registry);
+
+/// Recent flight-recorder events as a JSON array (newest last).
+Json flight_recorder_to_json(std::size_t max_events = 256);
+
+}  // namespace netemu::scope

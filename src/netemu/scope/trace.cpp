@@ -1,0 +1,154 @@
+#include "netemu/scope/trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "netemu/util/hash.hpp"
+#include "netemu/util/prng.hpp"
+
+namespace netemu::scope {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct ProcessClock {
+  SteadyClock::time_point steady_start = SteadyClock::now();
+  std::uint64_t epoch_unix_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+};
+
+const ProcessClock& process_clock() {
+  static const ProcessClock clock;
+  return clock;
+}
+
+}  // namespace
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - process_clock().steady_start)
+          .count());
+}
+
+std::uint64_t process_epoch_unix_s() noexcept {
+  return process_clock().epoch_unix_s;
+}
+
+std::uint64_t mint_trace_id() noexcept {
+  // splitmix64 over a process-unique sequence: ids never repeat within a
+  // process, and the pid/epoch salt makes cross-process collision unlikely.
+  static std::atomic<std::uint64_t> seq{
+      (process_epoch_unix_s() << 20) ^
+      (static_cast<std::uint64_t>(::getpid()) << 1)};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    std::uint64_t state = seq.fetch_add(1, std::memory_order_relaxed);
+    id = splitmix64(state);
+  }
+  return id;
+}
+
+TraceStore::TraceStore(std::size_t max_traces)
+    : max_traces_(max_traces == 0 ? 1 : max_traces) {}
+
+TraceStore& TraceStore::global() {
+  static TraceStore* instance = new TraceStore();  // leaked: outlives users
+  return *instance;
+}
+
+void TraceStore::add(std::uint64_t trace_id, Span span) {
+  if (trace_id == 0) return;
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = traces_.try_emplace(trace_id);
+  if (inserted) {
+    order_.push_back(trace_id);
+    while (order_.size() > max_traces_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+  // The eviction above can only have evicted *other* traces: trace_id was
+  // just inserted at the back.
+  auto found = traces_.find(trace_id);
+  if (found != traces_.end()) found->second.push_back(std::move(span));
+}
+
+std::vector<Span> TraceStore::get(std::uint64_t trace_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = traces_.find(trace_id);
+  return it == traces_.end() ? std::vector<Span>() : it->second;
+}
+
+bool TraceStore::contains(std::uint64_t trace_id) const {
+  std::lock_guard lock(mutex_);
+  return traces_.count(trace_id) != 0;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard lock(mutex_);
+  return traces_.size();
+}
+
+Json span_to_json(const Span& span) {
+  Json doc = Json::object();
+  doc["name"] = span.name;
+  doc["start_us"] = span.start_us;
+  doc["dur_us"] = span.dur_us;
+  if (!span.note.empty()) doc["note"] = span.note;
+  return doc;
+}
+
+Json trace_to_json(std::uint64_t trace_id, const TraceStore& store) {
+  const std::vector<Span> spans = store.get(trace_id);
+  Json doc = Json::object();
+  doc["trace"] = hex64(trace_id);
+  doc["found"] = !spans.empty();
+  Json arr = Json::array();
+  for (const Span& s : spans) arr.items().push_back(span_to_json(s));
+  doc["spans"] = std::move(arr);
+  return doc;
+}
+
+SpanTimer::SpanTimer(std::uint64_t trace_id, const char* name,
+                     TraceStore* store) noexcept
+    : trace_id_(trace_id),
+      name_(name),
+      store_(store ? store : &TraceStore::global()) {
+  if (trace_id_ == 0) {
+    done_ = true;
+    return;
+  }
+  start_us_ = now_us();
+}
+
+SpanTimer::~SpanTimer() { finish(); }
+
+void SpanTimer::finish() {
+  if (done_) return;
+  done_ = true;
+  Span span;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.dur_us = now_us() - start_us_;
+  span.note = std::move(note_);
+  store_->add(trace_id_, std::move(span));
+}
+
+std::uint64_t parse_trace_id(const std::string& hex) {
+  std::string s = hex;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s = s.substr(2);
+  }
+  while (s.size() < 16) s = "0" + s;  // tolerate short ids
+  std::uint64_t out = 0;
+  if (!parse_hex64(s, out)) return 0;
+  return out;
+}
+
+}  // namespace netemu::scope

@@ -1,0 +1,124 @@
+#pragma once
+// netemu::scope — trace spans.
+//
+// A *trace* is one request's journey through the stack, identified by a
+// 64-bit id minted at the edge (the client, or netemu_fleet for clients
+// that did not send one) and propagated as the "trace" JSON field of the
+// line protocol.  Each layer that touches the request appends *span*
+// records — name, start, duration, free-form note — into its process-local
+// TraceStore.  Spans are wide events: one record per stage, written once at
+// stage completion, never sampled.
+//
+// The span catalog (docs/SCOPE.md):
+//   cache.probe      executor cache lookup               note: hit | miss
+//   flight.join      follower joined a single-flight     note: leader key
+//   queue.wait       leader's submit -> worker pickup
+//   sim.run          the compute itself (plan_query)
+//   wal.append       result persisted (cache.put when journaling is off)
+//   executor.execute whole executor residency
+//   fleet.route      whole fleet residency               note: backend, tried
+//   fleet.hedge      a hedge was fired                   note: won | lost
+//
+// Retrieval: the `trace` op ({"op":"trace","id":"<hex>"}) returns the span
+// set; netemu_fleet additionally fans the op out to its backends and merges
+// (each span annotated with the site that recorded it).
+//
+// Cost discipline: a trace id of 0 means "untraced" and every recording
+// helper is a no-op for it, so the hot path pays one register compare per
+// site unless the client opted in.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "netemu/util/json.hpp"
+
+namespace netemu::scope {
+
+/// Microseconds since process start (steady clock; never goes backwards).
+std::uint64_t now_us() noexcept;
+
+/// Unix seconds at process start.  Paired with any process-lifetime counter
+/// (sim ticks, request totals) this gives readers reset-safe monotonicity:
+/// a changed epoch means the counter restarted from zero.
+std::uint64_t process_epoch_unix_s() noexcept;
+
+/// Mint a nonzero trace id (splitmix64 over a process-unique counter seeded
+/// from the epoch and pid; ids are unique per process and effectively
+/// unique across a fleet).
+std::uint64_t mint_trace_id() noexcept;
+
+struct Span {
+  std::string name;
+  std::uint64_t start_us = 0;  ///< now_us() at span start
+  std::uint64_t dur_us = 0;
+  std::string note;            ///< free-form annotation ("hit", "backend=...")
+};
+
+/// Bounded per-process store of recent traces (FIFO eviction).  Mutex-based:
+/// spans are only recorded for explicitly traced requests, a handful of
+/// records each — never on the untraced hot path.
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t max_traces = 512);
+
+  /// The store the service/fleet layers record into.
+  static TraceStore& global();
+
+  void add(std::uint64_t trace_id, Span span);
+  /// All spans recorded so far for a trace, in recording order.  Empty when
+  /// unknown (or evicted).
+  std::vector<Span> get(std::uint64_t trace_id) const;
+  bool contains(std::uint64_t trace_id) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_traces_;
+  std::map<std::uint64_t, std::vector<Span>> traces_;
+  std::deque<std::uint64_t> order_;  // insertion order for eviction
+};
+
+/// Serialize one span / a trace's span set (the `trace` op result shape).
+Json span_to_json(const Span& span);
+Json trace_to_json(std::uint64_t trace_id, const TraceStore& store);
+
+/// RAII span: records into the store on finish()/destruction.  A zero
+/// trace id makes every method a no-op.  The name must be a string with
+/// static storage duration (span names are a fixed catalog): keeping it as
+/// a pointer means an untraced request never materializes a std::string.
+class SpanTimer {
+ public:
+  SpanTimer(std::uint64_t trace_id, const char* name,
+            TraceStore* store = nullptr) noexcept;
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  void set_note(std::string note) {
+    if (done_) return;  // untraced (or already finished): skip the copy
+    note_ = std::move(note);
+  }
+  /// Record now (idempotent; the destructor then does nothing).
+  void finish();
+  /// Abandon without recording.
+  void cancel() noexcept { done_ = true; }
+
+ private:
+  std::uint64_t trace_id_;
+  const char* name_;
+  std::string note_;
+  TraceStore* store_;
+  std::uint64_t start_us_ = 0;
+  bool done_ = false;
+};
+
+/// Parse the protocol's trace id spelling (16-digit hex, with or without
+/// leading "0x").  Returns 0 on malformed input (0 is never a valid id).
+std::uint64_t parse_trace_id(const std::string& hex);
+
+}  // namespace netemu::scope

@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "netemu/faultline/injector.hpp"
+#include "netemu/scope/flight_recorder.hpp"
+#include "netemu/scope/trace.hpp"
 #include "netemu/service/planner.hpp"
+#include "netemu/util/hash.hpp"
 
 namespace netemu {
 
@@ -15,6 +18,48 @@ using Clock = std::chrono::steady_clock;
 double micros_since(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
+}
+
+// Process-global views of executor activity (scope registry).  These are
+// deliberately separate from the per-executor Stats/Histogram: a process may
+// host several executors (tests do), and the registry aggregates them all
+// for the `stats` op and Prometheus exposition.
+scope::Histogram& compute_us_hist() {
+  static scope::Histogram& h = scope::Registry::global().histogram(
+      "netemu_compute_us", "Planner compute wall time per computed query");
+  return h;
+}
+
+scope::Histogram& execute_us_hist() {
+  static scope::Histogram& h = scope::Registry::global().histogram(
+      "netemu_execute_us",
+      "Executor residency per request (hits, sheds, and computes alike)");
+  return h;
+}
+
+scope::Counter& requests_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_requests_total", "Requests accepted by any executor");
+  return c;
+}
+
+scope::Counter& cache_hits_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_cache_hits_total", "Requests answered from the result cache");
+  return c;
+}
+
+scope::Counter& shed_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_shed_total", "Requests shed by admission control");
+  return c;
+}
+
+scope::Counter& watchdog_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_watchdog_cancellations_total",
+      "Hung flights cancelled by the executor watchdog");
+  return c;
 }
 }  // namespace
 
@@ -77,6 +122,15 @@ void QueryExecutor::watchdog_loop() {
       }
     }
     if (hung.empty()) continue;
+    for (const auto& flight : hung) {
+      watchdog_counter().inc();
+      scope::FlightRecorder::global().record(
+          scope::FlightRecorder::Kind::kWatchdog, flight->trace_id,
+          "flight key=" + hex64(flight->key) + " cancelled after " +
+              std::to_string(options_.hang_timeout_ms) + " ms");
+    }
+    scope::FlightRecorder::global().dump_once_to_stderr(
+        "executor watchdog cancelled a hung flight");
     // Publish outside the executor lock: waiters take flight->mutex while
     // never holding mutex_, and the stuck compute task publishes the same
     // way when (if) it finishes — its publish is a no-op once done is set.
@@ -101,23 +155,40 @@ void QueryExecutor::watchdog_loop() {
 Response QueryExecutor::execute(const Query& q) {
   const auto start = Clock::now();
   const std::uint64_t key = q.cache_key();
+  const std::uint64_t tid = q.trace_id;
+  // Whole-residency span; destroyed (and recorded) last, after the waiter
+  // has its answer, so it closes every trace's span list.
+  scope::SpanTimer exec_span(tid, "executor.execute");
+  requests_counter().inc();
 
   Response response;
   response.key = key;
+  response.trace_id = tid;
+
+  const auto finish = [&](Response& r) -> Response& {
+    r.micros = micros_since(start);
+    execute_us_hist().observe(r.micros);
+    return r;
+  };
 
   // refresh=true forces a recompute: skip the cache read but keep every
   // other gate (single-flight, admission, deadline).
   if (!q.refresh) {
+    scope::SpanTimer probe(tid, "cache.probe");
     if (auto cached = cache_.get(key)) {
+      probe.set_note("hit");
+      probe.finish();
+      cache_hits_counter().inc();
       std::lock_guard lock(mutex_);
       ++stats_.requests;
       ++stats_.cache_hits;
       response.ok = true;
       response.cache_hit = true;
       response.result = std::move(*cached);
-      response.micros = micros_since(start);
-      return response;
+      return finish(response);
     }
+    probe.set_note("miss");
+    probe.finish();
   }
 
   std::shared_ptr<Flight> flight;
@@ -132,27 +203,50 @@ Response QueryExecutor::execute(const Query& q) {
     } else {
       if (pending_ >= options_.max_queue) {
         ++stats_.rejected;
+        shed_counter().inc();
+        scope::FlightRecorder::global().record(
+            scope::FlightRecorder::Kind::kShed, tid,
+            "admission queue full: pending=" + std::to_string(pending_) +
+                " key=" + hex64(key));
+        exec_span.set_note("shed");
         response.error = "overloaded: admission queue full";
         response.overloaded = true;
         response.retry_after_ms = options_.retry_after_hint_ms;
-        response.micros = micros_since(start);
-        return response;
+        return finish(response);
       }
       flight = std::make_shared<Flight>();
       flight->started = start;
+      flight->key = key;
+      flight->trace_id = tid;
       flights_[key] = flight;
       ++pending_;
       leader = true;
     }
   }
+  if (!leader && tid != 0) {
+    scope::TraceStore::global().add(
+        tid, scope::Span{"flight.join", scope::now_us(), 0,
+                         "leader key=" + hex64(key)});
+  }
 
   if (leader) {
     const Query task_query = q;
-    const bool accepted = pool_.submit([this, task_query, key, flight] {
+    const std::uint64_t submit_us = scope::now_us();
+    const bool accepted = pool_.submit([this, task_query, key, tid, submit_us,
+                                        flight] {
+      if (tid != 0) {
+        // Admission-to-pickup latency: starts at submit, ends now that a
+        // worker owns the task.
+        scope::TraceStore::global().add(
+            tid, scope::Span{"queue.wait", submit_us,
+                             scope::now_us() - submit_us, ""});
+      }
       if (options_.faults) options_.faults->on_compute();
       Response computed;
       computed.key = key;
+      computed.trace_id = tid;
       const auto compute_start = Clock::now();
+      scope::SpanTimer sim_span(tid, "sim.run");
       try {
         computed.result = options_.compute(task_query).dump();
         computed.ok = true;
@@ -161,6 +255,8 @@ Response QueryExecutor::execute(const Query& q) {
       } catch (...) {
         computed.error = "unknown planner failure";
       }
+      if (!computed.ok) sim_span.set_note("error");
+      sim_span.finish();
       record_compute_micros(micros_since(compute_start));
       // A failed recompute falls back to the previous cached value so a
       // transient planner fault degrades to slightly-stale instead of down.
@@ -193,7 +289,11 @@ Response QueryExecutor::execute(const Query& q) {
       }
       // Errors are not cached: a transient failure should not poison the
       // content address forever.  (Stale fallbacks are already in cache.)
-      if (computed.ok && !computed.stale) cache_.put(key, computed.result);
+      if (computed.ok && !computed.stale) {
+        scope::SpanTimer persist(
+            tid, options_.cache_journal ? "wal.append" : "cache.put");
+        cache_.put(key, computed.result);
+      }
       {
         std::lock_guard flight_lock(flight->mutex);
         // If the watchdog already published a "hung" error, the waiters are
@@ -225,8 +325,7 @@ Response QueryExecutor::execute(const Query& q) {
       }
       flight->cv.notify_all();
       response.error = "executor shutting down";
-      response.micros = micros_since(start);
-      return response;
+      return finish(response);
     }
   }
 
@@ -244,14 +343,14 @@ Response QueryExecutor::execute(const Query& q) {
       }
       response.error = "deadline exceeded after " +
                        std::to_string(deadline_ms) + " ms";
-      response.micros = micros_since(start);
-      return response;
+      exec_span.set_note("deadline");
+      return finish(response);
     }
     response = flight->response;
   }
   response.key = key;
-  response.micros = micros_since(start);
-  return response;
+  response.trace_id = tid;  // a follower's response keeps its own trace id
+  return finish(response);
 }
 
 QueryExecutor::Stats QueryExecutor::stats() const {
@@ -260,34 +359,17 @@ QueryExecutor::Stats QueryExecutor::stats() const {
 }
 
 void QueryExecutor::record_compute_micros(double micros) {
-  std::lock_guard lock(mutex_);
-  const std::size_t window = std::max<std::size_t>(1, options_.compute_time_window);
-  if (compute_micros_.size() < window) {
-    compute_micros_.push_back(micros);
-  } else {
-    compute_micros_[compute_micros_next_] = micros;
-  }
-  compute_micros_next_ = (compute_micros_next_ + 1) % window;
-  ++compute_micros_count_;
+  compute_us_.observe(micros);       // this executor's view (health op)
+  compute_us_hist().observe(micros);  // process-wide view (stats op)
 }
 
 QueryExecutor::ComputeTimes QueryExecutor::compute_times() const {
-  std::vector<double> window;
+  const scope::Histogram::Snapshot snap = compute_us_.snapshot();
   ComputeTimes t;
-  {
-    std::lock_guard lock(mutex_);
-    window = compute_micros_;
-    t.samples = compute_micros_count_;
-  }
-  if (window.empty()) return t;
-  std::sort(window.begin(), window.end());
-  const auto at = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(window.size() - 1) + 0.5);
-    return window[idx];
-  };
-  t.p50_us = at(0.50);
-  t.p95_us = at(0.95);
+  t.samples = snap.count;
+  t.p50_us = snap.quantile(0.50);
+  t.p95_us = snap.quantile(0.95);
+  t.p99_us = snap.quantile(0.99);
   return t;
 }
 

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "netemu/scope/metrics.hpp"
 #include "netemu/service/query.hpp"
 #include "netemu/service/result_cache.hpp"
 #include "netemu/util/json.hpp"
@@ -55,6 +56,7 @@ struct Response {
   std::uint64_t key = 0;    ///< content address of the query
   std::uint64_t retry_after_ms = 0;  ///< backoff hint (when overloaded)
   double micros = 0.0;      ///< wall time inside execute()
+  std::uint64_t trace_id = 0;  ///< scope trace id echoed back (0 = untraced)
 };
 
 class QueryExecutor {
@@ -84,8 +86,6 @@ class QueryExecutor {
     /// pool passed down (estimate trials then run concurrently).  Tests
     /// inject counters and slow functions here.
     std::function<Json(const Query&)> compute;
-    /// Ring-buffer size for per-query compute-time percentiles (health op).
-    std::size_t compute_time_window = 512;
   };
 
   QueryExecutor();  // all-default Options
@@ -112,11 +112,13 @@ class QueryExecutor {
   };
   Stats stats() const;
 
-  /// Compute-time distribution over the last Options::compute_time_window
-  /// computed queries (cache hits and shed requests excluded).
+  /// Lifetime compute-time distribution (cache hits and shed requests
+  /// excluded), read from this executor's scope::Histogram — bounded
+  /// relative error (~4.5%), no sample window, no lock on the record path.
   struct ComputeTimes {
     double p50_us = 0.0;
     double p95_us = 0.0;
+    double p99_us = 0.0;
     std::uint64_t samples = 0;  ///< lifetime computed-query count
   };
   ComputeTimes compute_times() const;
@@ -144,6 +146,8 @@ class QueryExecutor {
     bool done = false;
     Response response;
     Clock::time_point started;  // immutable after creation
+    std::uint64_t key = 0;          // immutable after creation
+    std::uint64_t trace_id = 0;     // leader's trace id (immutable)
     bool abandoned = false;     // guarded by the executor mutex_
   };
 
@@ -155,13 +159,12 @@ class QueryExecutor {
 
   void record_compute_micros(double micros);
 
-  mutable std::mutex mutex_;  // guards flights_, pending_, stats_, timings
+  mutable std::mutex mutex_;  // guards flights_, pending_, stats_
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t pending_ = 0;
   Stats stats_;
-  std::vector<double> compute_micros_;      // ring buffer
-  std::size_t compute_micros_next_ = 0;
-  std::uint64_t compute_micros_count_ = 0;  // lifetime samples
+  scope::Histogram compute_us_;  // lock-free; written by workers, read by
+                                 // compute_times() without mutex_
 
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;  // guarded by mutex_

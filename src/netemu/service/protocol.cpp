@@ -8,6 +8,9 @@
 
 #include "netemu/faultline/injector.hpp"
 #include "netemu/routing/packet_sim.hpp"
+#include "netemu/scope/exposition.hpp"
+#include "netemu/scope/flight_recorder.hpp"
+#include "netemu/scope/trace.hpp"
 #include "netemu/util/hash.hpp"
 
 namespace netemu {
@@ -21,7 +24,19 @@ std::string error_line(const std::string& message) {
   return doc.dump();
 }
 
-std::string stats_line(QueryExecutor& exec) {
+std::string stats_line(QueryExecutor& exec, const Json& request) {
+  // {"op":"stats","format":"prometheus"} returns the text exposition as a
+  // single JSON string (the line protocol cannot carry raw multi-line text);
+  // a scrape proxy unwraps "text" and forwards it verbatim.
+  if (request["format"].as_string() == "prometheus") {
+    Json result = Json::object();
+    result["format"] = "prometheus";
+    result["text"] = scope::registry_to_prometheus(scope::Registry::global());
+    Json doc = Json::object();
+    doc["ok"] = true;
+    doc["result"] = std::move(result);
+    return doc.dump();
+  }
   const QueryExecutor::Stats s = exec.stats();
   Json result = Json::object();
   result["requests"] = s.requests;
@@ -39,6 +54,33 @@ std::string stats_line(QueryExecutor& exec) {
   cache["hits"] = exec.cache().hits();
   cache["misses"] = exec.cache().misses();
   result["cache"] = std::move(cache);
+  result["uptime_s"] = exec.uptime_seconds();
+  // Full scope registry snapshot: sim volume counters and the compute /
+  // execute latency histograms netemu_top renders tails from.
+  result["scope"] = scope::registry_to_json(scope::Registry::global());
+  Json doc = Json::object();
+  doc["ok"] = true;
+  doc["result"] = std::move(result);
+  return doc.dump();
+}
+
+std::string trace_line(const Json& request) {
+  const Json& id = request["id"];
+  if (!id.is_string()) return error_line("trace: missing string field 'id'");
+  const std::uint64_t trace_id = scope::parse_trace_id(id.as_string());
+  if (trace_id == 0) {
+    return error_line("trace: 'id' must be a nonzero hex64 id");
+  }
+  Json doc = Json::object();
+  doc["ok"] = true;
+  doc["result"] = scope::trace_to_json(trace_id, scope::TraceStore::global());
+  return doc.dump();
+}
+
+std::string events_line() {
+  Json result = Json::object();
+  result["total"] = scope::FlightRecorder::global().total();
+  result["events"] = scope::flight_recorder_to_json();
   Json doc = Json::object();
   doc["ok"] = true;
   doc["result"] = std::move(result);
@@ -73,15 +115,21 @@ std::string health_line(QueryExecutor& exec) {
   flights["hung"] = s.hung;
   flights["stale_served"] = s.stale_served;
 
-  // Per-query compute-time distribution (ring buffer over recent computes)
+  // Per-query compute-time distribution (scope histogram over all computes)
   // plus cumulative simulation volume, so perf regressions show up in the
-  // running daemon without external tooling.
+  // running daemon without external tooling.  Volume counters are paired
+  // with the process epoch: a reader that sees epoch_unix_s change knows the
+  // counters restarted from zero (reset-safe monotonicity).
   const QueryExecutor::ComputeTimes times = exec.compute_times();
   Json compute = Json::object();
   compute["p50_us"] = times.p50_us;
   compute["p95_us"] = times.p95_us;
+  compute["p99_us"] = times.p99_us;
   compute["samples"] = times.samples;
   compute["sim_ticks_total"] = simulated_ticks_total();
+  compute["sim_batches_total"] = simulated_batches_total();
+  compute["sim_messages_total"] = simulated_messages_total();
+  compute["epoch_unix_s"] = scope::process_epoch_unix_s();
 
   Json result = Json::object();
   result["status"] = pending >= max_queue ? "overloaded" : "ok";
@@ -115,6 +163,7 @@ std::string response_to_line(const Response& r) {
       doc["overloaded"] = true;
       doc["retry_after_ms"] = r.retry_after_ms;
     }
+    if (r.trace_id != 0) doc["trace"] = hex64(r.trace_id);
     return doc.dump();
   }
   // Hand-assembled so the (hot) cached path splices the stored result text
@@ -130,6 +179,11 @@ std::string response_to_line(const Response& r) {
   line += ",\"ok\":true,\"result\":";
   line += r.result;
   if (r.stale) line += ",\"stale\":true";
+  if (r.trace_id != 0) {
+    line += ",\"trace\":\"";
+    line += hex64(r.trace_id);
+    line += "\"";
+  }
   line += "}";
   return line;
 }
@@ -150,8 +204,10 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
     doc["result"] = std::move(result);
     return doc.dump();
   }
-  if (op == "stats") return stats_line(exec);
+  if (op == "stats") return stats_line(exec, request);
   if (op == "health") return health_line(exec);
+  if (op == "trace") return trace_line(request);
+  if (op == "events") return events_line();
   if (op == "shutdown") {
     if (shutdown_requested) *shutdown_requested = true;
     Json doc = Json::object();

@@ -5,16 +5,24 @@
 //   response-line = JSON object, one line, '\n' terminated
 //
 // Request ops: the four query kinds ("bandwidth", "estimate", "max_host",
-// "bounds" — see query.hpp for their fields) plus four control ops:
+// "bounds" — see query.hpp for their fields) plus the control ops:
 //   {"op":"ping"}      -> {"ok":true,"result":{"pong":true}}
-//   {"op":"stats"}     -> executor + cache counters
+//   {"op":"stats"}     -> executor + cache counters + scope registry
+//                         snapshot; with "format":"prometheus" the result is
+//                         {"format":"prometheus","text":"<exposition>"}
 //   {"op":"health"}    -> pool / cache / shed / flight status report
+//   {"op":"trace","id":"<hex64>"} -> span set recorded for that trace id
+//                         (see scope/trace.hpp for the span catalog)
+//   {"op":"events"}    -> recent flight-recorder events (postmortem ring)
 //   {"op":"shutdown"}  -> ack, then the daemon stops accepting
 //
 // Every response carries "ok"; successes carry "result", "cache_hit" and
 // "micros" (plus "stale":true when served from cache after a recompute
 // failure); failures carry "error" (plus "overloaded":true and
-// "retry_after_ms" when shed by admission control).  One connection may
+// "retry_after_ms" when shed by admission control).  Query requests may
+// carry "trace":"<hex64>" — a scope trace id minted by the client (or by
+// netemu_fleet on their behalf); it is echoed back on the response and spans
+// recorded under it are retrievable via the trace op.  One connection may
 // issue any number of requests; responses come back in request order.  A
 // request line over the size cap gets a "protocol_error" response and the
 // connection stays usable (the overlong line is discarded).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "netemu/scope/trace.hpp"
 #include "netemu/util/hash.hpp"
 
 namespace netemu {
@@ -283,6 +284,14 @@ std::optional<Query> query_from_json(const Json& request, std::string* error) {
     if (!r.is_bool()) return fail("'refresh' must be a boolean");
     q.refresh = r.as_bool();
   }
+  if (request.contains("trace")) {
+    const Json& t = request["trace"];
+    if (!t.is_string()) return fail("'trace' must be a hex64 string");
+    q.trace_id = scope::parse_trace_id(t.as_string());
+    if (q.trace_id == 0) {
+      return fail("'trace' must be a nonzero 16-digit hex id");
+    }
+  }
   if (error) error->clear();
   return q;
 }
@@ -312,6 +321,7 @@ Json query_to_json(const Query& q) {
   }
   if (q.deadline_ms > 0) doc["deadline_ms"] = q.deadline_ms;
   if (q.refresh) doc["refresh"] = true;
+  if (q.trace_id != 0) doc["trace"] = hex64(q.trace_id);
   return doc;
 }
 

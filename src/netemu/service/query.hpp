@@ -61,6 +61,10 @@ struct Query {
   bool refresh = false;           ///< force a recompute (bypass cache read);
                                   ///< on failure the executor may serve the
                                   ///< previous value marked stale
+  std::uint64_t trace_id = 0;     ///< scope trace id ("trace" wire field,
+                                  ///< hex64); 0 = untraced.  Like deadline_ms
+                                  ///< it never enters the cache key: tracing
+                                  ///< a query must not fork its identity.
 
   /// Canonical key string: "kind|field=value|..." over exactly the fields
   /// relevant to this kind, in fixed order.
