@@ -16,6 +16,11 @@
 //                 response serialize per request, exactly the stack the
 //                 hot phase's req/s measures).
 //
+// A third A/B gates cooperative cancellation the same way (docs/
+// LIFECYCLE.md): run_batch with a null CancelToken (one pointer compare at
+// each quantum boundary) vs an armed-but-never-firing one (the full
+// deadline-latch check).  Both must stay within the 2% gate.
+//
 // Methodology: R PAIRED rounds — each pair runs both arms back-to-back
 // (order alternating per pair, so drift cancels) and yields one
 // enabled/disabled ratio; the statistic is the MEDIAN of the pair ratios.
@@ -99,11 +104,13 @@ struct SimWorkload {
     batch = sim.prepare(paths);
   }
 
-  double round(int reps) const {
+  double round(int reps) const { return round(reps, CancelToken()); }
+
+  double round(int reps, const CancelToken& cancel) const {
     const double t0 = process_cpu_s();
     for (int r = 0; r < reps; ++r) {
       Prng rng(777);  // identical work every rep
-      BatchStats stats = sim.run_batch(batch, rng);
+      BatchStats stats = sim.run_batch(batch, rng, cancel);
       (void)stats;
     }
     return process_cpu_s() - t0;
@@ -149,7 +156,7 @@ struct ExecWorkload {
     QueryExecutor::Options o;
     o.threads = 2;
     o.cache_file.clear();  // memory-only: no disk noise in the loop
-    o.compute = [](const Query&) {
+    o.compute = [](const Query&, const CancelToken&) {
       Json j = Json::object();
       j["v"] = 1.0;
       return j;
@@ -199,20 +206,28 @@ struct ArmResult {
   }
 };
 
-/// Run `pairs` back-to-back (enabled, disabled) timings, alternating arm
-/// order each pair.
-template <typename RoundFn>
-ArmResult ab_pairs(int pairs, RoundFn&& run_round) {
+/// Run `pairs` back-to-back (on, off) timings, alternating arm order each
+/// pair; `set_arm(on)` selects which arm the next round runs.
+template <typename SetArm, typename RoundFn>
+ArmResult ab_pairs_with(int pairs, SetArm&& set_arm, RoundFn&& run_round) {
   ArmResult out;
   for (int r = 0; r < pairs; ++r) {
     const bool enabled_first = (r % 2 == 0);
     for (int pass = 0; pass < 2; ++pass) {
       const bool on = (pass == 0) == enabled_first;
-      scope::set_enabled(on);
+      set_arm(on);
       const double s = run_round();
       (on ? out.enabled_s : out.disabled_s).push_back(s);
     }
   }
+  return out;
+}
+
+/// The scope-instrumentation arm pair (set_enabled is the kill switch).
+template <typename RoundFn>
+ArmResult ab_pairs(int pairs, RoundFn&& run_round) {
+  ArmResult out = ab_pairs_with(
+      pairs, [](bool on) { scope::set_enabled(on); }, run_round);
   scope::set_enabled(true);  // never leave the process dark
   return out;
 }
@@ -250,13 +265,13 @@ int main(int argc, char** argv) {
   // overhead: escalate by pooling more pairs (up to 3 batches) — noise
   // dilutes toward zero across batches, genuine overhead reproduces in
   // every one.
-  const auto measure = [&](auto&& run_round) {
-    ArmResult r = ab_pairs(rounds, run_round);
+  const auto measure_by = [&](auto&& run_batch_of_pairs) {
+    ArmResult r = run_batch_of_pairs();
     for (int batch = 1; batch < 3 && r.overhead_percent() > kGatePercent;
          ++batch) {
       std::printf("  reading %.2f%% over gate; pooling another %d pairs\n",
                   r.overhead_percent(), rounds);
-      const ArmResult more = ab_pairs(rounds, run_round);
+      const ArmResult more = run_batch_of_pairs();
       r.enabled_s.insert(r.enabled_s.end(), more.enabled_s.begin(),
                          more.enabled_s.end());
       r.disabled_s.insert(r.disabled_s.end(), more.disabled_s.begin(),
@@ -264,8 +279,24 @@ int main(int argc, char** argv) {
     }
     return r;
   };
+  const auto measure = [&](auto&& run_round) {
+    return measure_by([&] { return ab_pairs(rounds, run_round); });
+  };
   const ArmResult sim_r = measure([&] { return sim.round(sim_reps); });
   const ArmResult exec_r = measure([&] { return exec.round(exec_iters); });
+
+  // Cancellation arm pair: armed-but-never-firing token vs null token on
+  // the same batch.  The armed arm takes the real deadline-latch branch at
+  // every quantum boundary; the null arm is one pointer compare.
+  CancelSource cancel_source;
+  cancel_source.set_deadline_after_ms(3'600'000);
+  const CancelToken armed = cancel_source.token();
+  CancelToken current;  // the token the next round passes to run_batch
+  const ArmResult cancel_r = measure_by([&] {
+    return ab_pairs_with(
+        rounds, [&](bool on) { current = on ? armed : CancelToken(); },
+        [&] { return sim.round(sim_reps, current); });
+  });
 
   Table table({"workload", "off ms", "on ms", "overhead", "gate"});
   int failures = 0;
@@ -279,6 +310,7 @@ int main(int argc, char** argv) {
   };
   row("run_batch (micro_sim)", sim_r);
   row("cache_hit (service_throughput)", exec_r);
+  row("run_batch cancel token", cancel_r);
   table.print(std::cout);
 
   if (failures != 0) {
@@ -287,8 +319,8 @@ int main(int argc, char** argv) {
                 kGatePercent, failures);
     return 1;
   }
-  std::printf("\nPASS: scope recording sites cost <= %.1f%% on both hot "
-              "paths\n",
+  std::printf("\nPASS: scope recording and cancel-check sites cost <= "
+              "%.1f%% on every hot path\n",
               kGatePercent);
   return 0;
 }

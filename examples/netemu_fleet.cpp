@@ -14,8 +14,11 @@
 // failover / hedge counters); {"op":"trace","id":...} merges the fleet's
 // span records with every backend's; {"op":"events"} dumps the fleet's
 // flight recorder (breaker transitions, hedge outcomes).  {"op":"shutdown"}
-// stops the front door only; backends keep running.  See docs/FLEET.md and
-// docs/SCOPE.md.
+// stops the front door only; backends keep running.  SIGINT/SIGTERM and
+// {"op":"drain"} run the graceful drain instead: stop accepting, give
+// in-flight proxied requests up to --drain-ms to land, then exit 0 — the
+// same lifecycle netemu_serve follows (docs/LIFECYCLE.md).  See
+// docs/FLEET.md and docs/SCOPE.md.
 
 #include <atomic>
 #include <cerrno>
@@ -104,9 +107,15 @@ int main(int argc, char** argv) {
 
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7470));
+  std::atomic<bool> drain_op{false};
   Server server(
-      [&front_door](const std::string& line, bool* shutdown_requested) {
-        return front_door.handle_line(line, shutdown_requested);
+      [&front_door, &drain_op](const std::string& line,
+                               bool* shutdown_requested) {
+        bool drain = false;
+        std::string response =
+            front_door.handle_line(line, shutdown_requested, &drain);
+        if (drain) drain_op.store(true);
+        return response;
       },
       server_options);
 
@@ -125,10 +134,33 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  while (!g_signal_stop.load() && server.running()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto drain_budget_ms =
+      static_cast<std::uint64_t>(cli.get_int("drain-ms", 1000));
+  while (!g_signal_stop.load() && !drain_op.load() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  server.stop();
+  if (g_signal_stop.load() || drain_op.load()) {
+    // Graceful drain: no new connections; in-flight proxied requests get up
+    // to the budget to land before the connections are shut down.  The
+    // front door holds no compute, so there is nothing to cancel here —
+    // backends drain on their own schedule.
+    using SteadyClock = std::chrono::steady_clock;
+    const auto started = SteadyClock::now();
+    const auto deadline =
+        started + std::chrono::milliseconds(drain_budget_ms);
+    server.begin_drain();
+    while (router.inflight() > 0 && SteadyClock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    server.stop();
+    std::cerr << "drained in "
+              << std::chrono::duration_cast<std::chrono::milliseconds>(
+                     SteadyClock::now() - started)
+                     .count()
+              << " ms\n";
+  } else {
+    server.stop();
+  }
   router.stop();
 
   const FleetRouter::Stats s = router.stats();

@@ -7,8 +7,11 @@
 //   $ netemu_serve --fault-plan 'seed=7,drop=0.02,torn=0.3'   # chaos mode
 //   $ netemu_serve --no-journal        # skip the crash-recovery WAL
 //
-// Stop with SIGINT/SIGTERM or a client {"op":"shutdown"}; either path
-// drains in-flight work and saves the cache.  A kill -9 skips the save, but
+// Stop with SIGINT/SIGTERM or a client {"op":"drain"} / {"op":"shutdown"}.
+// Signals and the drain op run the graceful drain (docs/LIFECYCLE.md): stop
+// accepting, shed new flights, give running work up to half of --drain-ms
+// to finish, cancel the stragglers cooperatively, snapshot the cache, exit
+// 0 — bounded end to end by --drain-ms.  A kill -9 skips all of it, but
 // with journaling (the default when a cache file is set) every computed
 // result was already fsync'd to <cache-file>.wal, so the next start rejoins
 // warm — the fleet router counts on this (see docs/FLEET.md).
@@ -24,6 +27,7 @@
 #include "netemu/faultline/fault_plan.hpp"
 #include "netemu/faultline/injector.hpp"
 #include "netemu/scope/flight_recorder.hpp"
+#include "netemu/service/protocol.hpp"
 #include "netemu/service/server.hpp"
 #include "netemu/util/cli.hpp"
 
@@ -32,6 +36,35 @@ using namespace netemu;
 namespace {
 std::atomic<bool> g_signal_stop{false};
 void on_signal(int) { g_signal_stop.store(true); }
+
+/// Bounded graceful drain: no new connections or flights, half the budget
+/// for running work to finish on its own, cooperative cancellation for the
+/// rest, then a full stop.  Returns with the server stopped.
+void drain_and_stop(Server& server, QueryExecutor& executor,
+                    std::uint64_t budget_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  const auto deadline = started + std::chrono::milliseconds(budget_ms);
+  const auto cancel_at = started + std::chrono::milliseconds(budget_ms / 2);
+  server.begin_drain();
+  executor.begin_drain();
+  while (executor.pending() > 0 && Clock::now() < cancel_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (executor.pending() > 0) {
+    const std::size_t fired = executor.cancel_all();
+    std::cerr << "drain: cancelled " << fired << " in-flight queries\n";
+    while (executor.pending() > 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  server.stop();
+  std::cerr << "drained in "
+            << std::chrono::duration_cast<std::chrono::milliseconds>(
+                   Clock::now() - started)
+                   .count()
+            << " ms\n";
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,7 +130,19 @@ int main(int argc, char** argv) {
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
   server_options.faults = injector.get();
-  Server server(executor, server_options);
+  // Custom handler rather than the QueryExecutor convenience constructor so
+  // a client {"op":"drain"} reaches the drain sequence below.
+  std::atomic<bool> drain_op{false};
+  Server server(
+      [&executor, &drain_op](const std::string& line,
+                             bool* shutdown_requested) {
+        bool drain = false;
+        std::string response =
+            handle_request_line(line, executor, shutdown_requested, &drain);
+        if (drain) drain_op.store(true);
+        return response;
+      },
+      server_options);
   std::string error;
   if (!server.start(&error)) {
     std::cerr << "netemu_serve: " << error << "\n";
@@ -117,18 +162,25 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
+  const auto drain_budget_ms =
+      static_cast<std::uint64_t>(cli.get_int("drain-ms", 1000));
+
   // Poll: a signal handler cannot take the server's locks itself.
-  while (!g_signal_stop.load() && server.running()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  while (!g_signal_stop.load() && !drain_op.load() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  server.stop();
+  if (g_signal_stop.load() || drain_op.load()) {
+    drain_and_stop(server, executor, drain_budget_ms);
+  } else {
+    server.stop();  // client shutdown op: connections already done
+  }
 
   const QueryExecutor::Stats s = executor.stats();
   std::cerr << "served " << s.requests << " requests (" << s.cache_hits
             << " cache hits, " << s.computed << " computed, "
             << s.dedup_joins << " dedup joins, " << s.rejected
             << " rejected, " << s.hung << " hung, " << s.stale_served
-            << " stale)\n";
+            << " stale, " << s.cancelled << " cancelled)\n";
   if (injector) {
     const FaultInjector::Counts c = injector->counts();
     std::cerr << "faults injected: " << c.total() << " (" << c.drops

@@ -71,7 +71,8 @@ std::string FleetFrontDoor::handle_trace(const Json& request) {
 }
 
 std::string FleetFrontDoor::handle_line(const std::string& line,
-                                        bool* shutdown_requested) {
+                                        bool* shutdown_requested,
+                                        bool* drain_requested) {
   std::string parse_error;
   Json request = Json::parse(line, &parse_error);
   if (!parse_error.empty() || !request.is_object()) {
@@ -85,6 +86,15 @@ std::string FleetFrontDoor::handle_line(const std::string& line,
     if (shutdown_requested) *shutdown_requested = true;
     Json result = Json::object();
     result["stopping"] = true;
+    return ok_line(std::move(result));
+  }
+  if (op == "drain") {
+    // The front door holds no compute of its own; draining means "stop
+    // accepting, let proxied requests land, go away" — the daemon runs that
+    // once the flag is set.  Backends drain independently.
+    if (drain_requested) *drain_requested = true;
+    Json result = Json::object();
+    result["draining"] = drain_requested != nullptr;
     return ok_line(std::move(result));
   }
   if (op == "fleet") {

@@ -5,6 +5,9 @@
 //
 // Op handling:
 //   shutdown  -> ack; stops the front door only (backends are independent)
+//   drain     -> ack; netemu_fleet stops accepting, lets in-flight proxied
+//                requests land within --drain-ms, and exits (backends keep
+//                running — drain THEM individually to stop compute)
 //   fleet     -> router stats (per-backend health, shed/failover/hedge)
 //   events    -> this process's scope flight recorder (breaker transitions
 //                and hedge outcomes, with trace ids)
@@ -39,8 +42,10 @@ class FleetFrontDoor {
       : FleetFrontDoor(router, Options()) {}
 
   /// Handle one request line (no trailing newline); returns the response
-  /// line.  The fleet-side twin of handle_request_line().
-  std::string handle_line(const std::string& line, bool* shutdown_requested);
+  /// line.  The fleet-side twin of handle_request_line().  A drain op sets
+  /// `drain_requested` (when non-null) for the daemon's drain sequence.
+  std::string handle_line(const std::string& line, bool* shutdown_requested,
+                          bool* drain_requested = nullptr);
 
  private:
   std::string handle_trace(const Json& request);

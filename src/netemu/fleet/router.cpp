@@ -39,6 +39,13 @@ scope::Counter& breaker_transitions_counter() {
   return c;
 }
 
+scope::Counter& cancels_fired_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_fleet_cancels_fired_total",
+      "Cancel verbs fired at hedge losers after a winner answered");
+  return c;
+}
+
 }  // namespace
 
 // Shared scoreboard for one hedged request: the primary and (maybe) hedge
@@ -237,6 +244,31 @@ void FleetRouter::record_latency(double ms) {
   latency_next_ = (latency_next_ + 1) % options_.latency_window;
 }
 
+void FleetRouter::fire_cancel(std::size_t index, std::uint64_t trace_id) {
+  Json cancel = Json::object();
+  cancel["op"] = "cancel";
+  cancel["trace"] = hex64(trace_id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    ++inflight_;
+    ++cancels_fired_;
+  }
+  cancels_fired_counter().inc();
+  scope::FlightRecorder::global().record(
+      scope::FlightRecorder::Kind::kHedge, trace_id,
+      "cancel fired at loser " + ids_[index]);
+  // Detached and best-effort: the winner's answer is already on its way
+  // back, so nothing waits on this.  If the loser's query never started (or
+  // already finished) the backend just answers {"cancelled":false}.
+  std::thread([this, index, cancel] {
+    attempt(index, cancel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    inflight_cv_.notify_all();
+  }).detach();
+}
+
 void FleetRouter::spawn_attempt(std::size_t index, const Json& request_doc,
                                 std::shared_ptr<HedgeState> state) {
   {
@@ -284,7 +316,16 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++requests_;
+    ++active_requests_;
   }
+  // Balanced on every exit path (the fleet daemon's drain polls inflight()).
+  struct ActiveGuard {
+    FleetRouter* router;
+    ~ActiveGuard() {
+      std::lock_guard<std::mutex> lock(router->mutex_);
+      --router->active_requests_;
+    }
+  } active_guard{this};
 
   const std::vector<std::size_t> order =
       rendezvous_rank(route_key(request_doc), ids_);
@@ -327,10 +368,23 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
     std::size_t responder = *primary;
 
     if (delay) {
+      // Hedging wants a trace id even for untraced callers: the cancel verb
+      // that reclaims the losing backend's compute is keyed by it.  Json
+      // copies share structure, so mint onto a shallow rebuild instead of
+      // mutating a copy of the caller's document.
+      Json hedge_doc = request_doc;
+      std::uint64_t hedge_tid = tid;
+      if (hedge_tid == 0) {
+        hedge_tid = scope::mint_trace_id();
+        hedge_doc = Json::object();
+        for (const auto& [k, v] : request_doc.fields()) hedge_doc[k] = v;
+        hedge_doc["trace"] = hex64(hedge_tid);
+      }
       auto state = std::make_shared<HedgeState>();
-      spawn_attempt(*primary, request_doc, state);
+      spawn_attempt(*primary, hedge_doc, state);
       std::size_t hedge_index = static_cast<std::size_t>(-1);
       std::uint64_t hedge_fired_us = 0;
+      bool loser_running = false;
       std::unique_lock<std::mutex> sl(state->m);
       state->cv.wait_for(sl, std::chrono::milliseconds(*delay), [&] {
         return state->have_winner || state->outstanding == 0;
@@ -355,7 +409,7 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
               "fired at " + ids_[*secondary] + " (primary " +
                   ids_[*primary] + " slower than " +
                   std::to_string(*delay) + " ms)");
-          spawn_attempt(*secondary, request_doc, state);
+          spawn_attempt(*secondary, hedge_doc, state);
         }
         sl.lock();
       }
@@ -365,6 +419,9 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
       if (state->have_winner) {
         a = std::move(state->winner);
         responder = state->winner_index;
+        // The other attempt may still be grinding through its query on the
+        // losing backend — remember that while we hold the scoreboard lock.
+        loser_running = state->outstanding > 0;
         if (responder == hedge_index) {
           out.hedge_won = true;
           hedges_won_counter().inc();
@@ -386,6 +443,15 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
               tid, scope::Span{"fleet.hedge", hedge_fired_us,
                                scope::now_us() - hedge_fired_us, outcome});
         }
+      }
+      sl.unlock();
+      if (out.hedged && loser_running) {
+        // A winner answered while the other attempt is still in flight: tell
+        // the losing backend to stop computing an answer nobody will read.
+        const std::size_t loser =
+            responder == hedge_index ? *primary : hedge_index;
+        fire_cancel(loser, hedge_tid);
+        out.cancel_fired = true;
       }
     } else {
       a = attempt(*primary, request_doc);
@@ -463,6 +529,11 @@ void FleetRouter::probe_loop() {
   }
 }
 
+std::size_t FleetRouter::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_requests_;
+}
+
 FleetRouter::Stats FleetRouter::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
@@ -472,6 +543,7 @@ FleetRouter::Stats FleetRouter::stats() const {
   s.failovers = failovers_;
   s.hedges_fired = hedges_fired_;
   s.hedges_won = hedges_won_;
+  s.cancels_fired = cancels_fired_;
   const std::uint64_t now = now_ms();
   for (const auto& bp : backends_) {
     Backend& b = *bp;  // unique_ptr does not propagate const to the pointee
@@ -500,6 +572,7 @@ Json fleet_stats_to_json(const FleetRouter::Stats& stats) {
   doc["failovers"] = stats.failovers;
   doc["hedges_fired"] = stats.hedges_fired;
   doc["hedges_won"] = stats.hedges_won;
+  doc["cancels_fired"] = stats.cancels_fired;
   Json backends = Json::array();
   for (const auto& b : stats.backends) {
     Json e = Json::object();

@@ -82,6 +82,7 @@ class FleetRouter {
     int backends_tried = 0;
     bool hedged = false;     ///< a hedge was fired for this request
     bool hedge_won = false;  ///< ... and the hedge answered first
+    bool cancel_fired = false;  ///< hedge loser sent {"op":"cancel"}
   };
 
   explicit FleetRouter(Options options);
@@ -132,9 +133,16 @@ class FleetRouter {
     std::uint64_t failovers = 0;   ///< extra backends tried beyond the first
     std::uint64_t hedges_fired = 0;
     std::uint64_t hedges_won = 0;
+    /// {"op":"cancel"} verbs fired at hedge losers the moment the winner's
+    /// answer arrived (reclaims the loser's compute; see docs/LIFECYCLE.md).
+    std::uint64_t cancels_fired = 0;
     std::vector<BackendStats> backends;
   };
   Stats stats() const;
+
+  /// request() calls currently executing (the fleet daemon's drain polls
+  /// this until in-flight proxied work has landed).
+  std::size_t inflight() const;
 
   /// Stop the probe thread and wait for in-flight hedge attempts; called by
   /// the destructor.
@@ -182,6 +190,9 @@ class FleetRouter {
   void record_latency(double ms);
   void spawn_attempt(std::size_t index, const Json& request_doc,
                      std::shared_ptr<HedgeState> state);
+  /// Best-effort detached {"op":"cancel","trace":...} at a hedge loser so
+  /// its backend stops computing an answer nobody will read.
+  void fire_cancel(std::size_t index, std::uint64_t trace_id);
   void probe_loop();
 
   Options options_;
@@ -196,6 +207,8 @@ class FleetRouter {
   std::uint64_t failovers_ = 0;
   std::uint64_t hedges_fired_ = 0;
   std::uint64_t hedges_won_ = 0;
+  std::uint64_t cancels_fired_ = 0;
+  std::size_t active_requests_ = 0;  ///< request() calls executing now
   std::vector<double> latency_ms_;  // ring buffer
   std::size_t latency_next_ = 0;
 

@@ -55,6 +55,9 @@ std::shared_ptr<const BfsRouter::Field> BfsRouter::distance_field(Vertex dst) {
   queue.push_back(dst);
   std::size_t head = 0;
   while (head < queue.size()) {
+    // Field construction over a 2^24-vertex machine takes long enough to
+    // matter for drain; poll the token at the standard amortized cadence.
+    if ((head & (kCancelCheckTicks - 1)) == 0) cancel_.check();
     const Vertex u = queue[head++];
     const std::uint16_t du = dist[u];
     for (const Arc& a : g.neighbors(u)) {

@@ -37,6 +37,13 @@ class BfsRouter final : public Router {
   std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) override;
   const char* name() const override { return spread_ ? "bfs-random" : "bfs"; }
 
+  /// Token polled every kCancelCheckTicks vertex pops inside the
+  /// distance-field BFS (the only unbounded prep work).  Set before routing
+  /// starts; copying the token is cheap and route() reads it unsynchronized.
+  void set_cancel_token(CancelToken cancel) override {
+    cancel_ = std::move(cancel);
+  }
+
   /// Cache observability (for tests and the perf harness).
   std::uint64_t cache_hits() const;
   std::uint64_t cache_misses() const;
@@ -50,6 +57,7 @@ class BfsRouter final : public Router {
   const Machine& machine_;
   bool spread_;
   std::size_t cache_budget_entries_;
+  CancelToken cancel_;  // set once before concurrent routing begins
 
   mutable std::mutex mutex_;  // guards everything below
   std::size_t cached_entries_ = 0;

@@ -171,7 +171,8 @@ inline void prefetch_rw(const void*) {}
 template <class PriorityFactory>
 BatchStats PacketSimulator::run_batch_impl(
     const PreparedBatch& batch, const PriorityFactory& make_priority,
-    const std::uint32_t* rand_key_by_msg) const {
+    const std::uint32_t* rand_key_by_msg, const CancelToken& cancel) const {
+  cancel.check();  // a pre-cancelled batch never starts
   BatchStats stats;
   const std::size_t m = batch.size();
   const std::uint32_t* seq = batch.seq_.data();
@@ -274,6 +275,14 @@ BatchStats PacketSimulator::run_batch_impl(
     }
     while (!touched.empty()) {
       ++tick;
+      // Amortized cancellation poll: one AND + branch per tick, a clock /
+      // flag read every kCancelCheckTicks.  The partial volume is recorded
+      // before unwinding so reclaimed-CPU accounting sees the ticks burned.
+      if ((tick & (kCancelCheckTicks - 1)) == 0 && cancel.cancelled()) {
+        record_batch_volume(tick, static_cast<std::uint64_t>(m - na));
+        throw CancelledError("run_batch cancelled at tick " +
+                             std::to_string(tick));
+      }
       delivered_this_tick = 0;
       for (const std::uint32_t c : touched) {
         advance(slot_of(count_base[c] - 1));
@@ -319,6 +328,11 @@ BatchStats PacketSimulator::run_batch_impl(
 
   while (na > 0) {
     ++tick;
+    if ((tick & (kCancelCheckTicks - 1)) == 0 && cancel.cancelled()) {
+      record_batch_volume(tick, static_cast<std::uint64_t>(m - na));
+      throw CancelledError("run_batch cancelled at tick " +
+                           std::to_string(tick));
+    }
     delivered_this_tick = 0;
 
     // Bucket offsets.  Without a node cap, only CONTENDED channels
@@ -488,14 +502,14 @@ BatchStats PacketSimulator::run_batch_impl(
   return stats;
 }
 
-BatchStats PacketSimulator::run_batch(const PreparedBatch& batch,
-                                      Prng& rng) const {
+BatchStats PacketSimulator::run_batch(const PreparedBatch& batch, Prng& rng,
+                                      const CancelToken& cancel) const {
   switch (arbitration_) {
     case Arbitration::kFifo:
       return run_batch_impl(
           batch,
           [](const std::uint32_t*, const std::uint32_t*) { return FifoKey{}; },
-          nullptr);
+          nullptr, cancel);
     case Arbitration::kRandom: {
       // Keys are drawn per message in index order (zero-hop messages
       // included), matching the documented serial order.
@@ -506,7 +520,7 @@ BatchStats PacketSimulator::run_batch(const PreparedBatch& batch,
           [](const std::uint32_t*, const std::uint32_t* key) {
             return RandomKey{key};
           },
-          rand_key.data());
+          rand_key.data(), cancel);
     }
     case Arbitration::kFarthestFirst:
       break;
@@ -516,12 +530,13 @@ BatchStats PacketSimulator::run_batch(const PreparedBatch& batch,
       [](const std::uint32_t* remaining, const std::uint32_t*) {
         return FarthestFirstKey{remaining};
       },
-      nullptr);
+      nullptr, cancel);
 }
 
 BatchStats PacketSimulator::run_batch(
-    const std::vector<std::vector<Vertex>>& paths, Prng& rng) const {
-  return run_batch(prepare(paths), rng);
+    const std::vector<std::vector<Vertex>>& paths, Prng& rng,
+    const CancelToken& cancel) const {
+  return run_batch(prepare(paths), rng, cancel);
 }
 
 }  // namespace netemu

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "netemu/topology/machine.hpp"
+#include "netemu/util/cancel.hpp"
 #include "netemu/util/prng.hpp"
 
 namespace netemu {
@@ -91,11 +92,18 @@ class PacketSimulator {
   /// Route a prepared batch to completion.  rng feeds the random arbitration
   /// policy only.  Thread-safe: const, all mutable state is call-local, so
   /// one simulator can serve concurrent trials.
-  BatchStats run_batch(const PreparedBatch& batch, Prng& rng) const;
+  ///
+  /// Cancellation: `cancel` is polled every kCancelCheckTicks ticks; when it
+  /// fires the partial simulation volume is still recorded and the call
+  /// raises CancelledError — the run stops within one check quantum.  A
+  /// never-firing (or default/null) token leaves the result bit-identical
+  /// to an uncancellable run (tests/sim_golden_test.cpp).
+  BatchStats run_batch(const PreparedBatch& batch, Prng& rng,
+                       const CancelToken& cancel = {}) const;
 
   /// Convenience wrapper: prepare + run in one call.
   BatchStats run_batch(const std::vector<std::vector<Vertex>>& paths,
-                       Prng& rng) const;
+                       Prng& rng, const CancelToken& cancel = {}) const;
 
   std::size_t num_channels() const { return channel_cap_.size(); }
 
@@ -105,7 +113,8 @@ class PacketSimulator {
   template <class PriorityFactory>
   BatchStats run_batch_impl(const PreparedBatch& batch,
                             const PriorityFactory& make_priority,
-                            const std::uint32_t* rand_key_by_msg) const;
+                            const std::uint32_t* rand_key_by_msg,
+                            const CancelToken& cancel) const;
 
   const Machine& machine_;
   Arbitration arbitration_;

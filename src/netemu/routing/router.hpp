@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "netemu/topology/machine.hpp"
+#include "netemu/util/cancel.hpp"
 #include "netemu/util/prng.hpp"
 
 namespace netemu {
@@ -23,6 +24,13 @@ class Router {
   virtual std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) = 0;
 
   virtual const char* name() const = 0;
+
+  /// Attach a cooperative cancellation token checked by expensive route
+  /// *preparation* (BfsRouter's distance-field BFS).  Default: ignored —
+  /// algebraic routers do O(path) work per route and are already bounded by
+  /// the per-message checks in measure_throughput.  Set before handing the
+  /// router to concurrent trials; never affects the routes produced.
+  virtual void set_cancel_token(CancelToken /*cancel*/) {}
 };
 
 /// Family-dispatched router choice: algebraic router when one exists for

@@ -10,11 +10,14 @@ namespace netemu {
 namespace {
 
 /// Sample `extra` messages and append their routed paths to `batch`.
+/// Polls `cancel` between routes; routing a message costs microseconds so a
+/// per-message check is already amortized relative to kCancelCheckTicks.
 void route_into(PacketSimulator::PreparedBatch& batch,
                 const PacketSimulator& sim, Router& router,
                 const TrafficDistribution& traffic, std::size_t extra,
-                Prng& rng) {
+                Prng& rng, const CancelToken& cancel) {
   for (const Message& msg : traffic.batch(extra, rng)) {
+    cancel.check();
     sim.append(batch, router.route(msg.src, msg.dst, rng));
   }
 }
@@ -42,35 +45,49 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
 
   const unsigned trials = std::max(1u, options.trials);
   std::vector<BatchStats> stats(trials);
+  // Set per trial after its run_batch returns.  for_n collects by index and
+  // each trial writes only its own slot, so plain bytes are race-free.
+  std::vector<char> completed(trials, 0);
 
   // Trial 0 calibrates the batch size: grow by doubling until the transient
   // is negligible, keeping the already-routed paths and routing only the
-  // top-up messages each step.
+  // top-up messages each step.  Cancellation here propagates as
+  // CancelledError: no trial has landed yet, so there is nothing partial to
+  // return.
   std::uint64_t calibration_ticks = 0;
   {
     Prng trial_rng = Prng::stream(base, 1);
     PacketSimulator::PreparedBatch batch;
     std::size_t routed = 0;
     for (;;) {
-      route_into(batch, sim, router, traffic, m - routed, trial_rng);
+      route_into(batch, sim, router, traffic, m - routed, trial_rng,
+                 options.cancel);
       routed = m;
-      stats[0] = sim.run_batch(batch, trial_rng);
+      stats[0] = sim.run_batch(batch, trial_rng, options.cancel);
       if (stats[0].makespan >= target_makespan || m >= options.max_messages) {
         break;
       }
       calibration_ticks += stats[0].makespan;  // non-final sizing runs
       m = std::min(options.max_messages, m * 2);
     }
+    completed[0] = 1;
   }
   result.messages = m;
 
   // Trials 1..T-1 at the calibrated size, independently seeded by index and
-  // collected by index — bit-identical at any thread count.
+  // collected by index — bit-identical at any thread count.  A cancelled
+  // trial is swallowed here (never escapes for_n, which would rethrow on the
+  // caller and drop sibling results): it just leaves its completed flag
+  // unset and the sweep reports a degraded partial result.
   const auto run_trial = [&](std::size_t t) {
-    Prng trial_rng = Prng::stream(base, 1 + t);
-    PacketSimulator::PreparedBatch batch;
-    route_into(batch, sim, router, traffic, m, trial_rng);
-    stats[t] = sim.run_batch(batch, trial_rng);
+    try {
+      Prng trial_rng = Prng::stream(base, 1 + t);
+      PacketSimulator::PreparedBatch batch;
+      route_into(batch, sim, router, traffic, m, trial_rng, options.cancel);
+      stats[t] = sim.run_batch(batch, trial_rng, options.cancel);
+      completed[t] = 1;
+    } catch (const CancelledError&) {
+    }
   };
   if (trials > 1) {
     if (options.pool != nullptr) {
@@ -83,16 +100,21 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
 
   result.trial_rates.reserve(trials);
   result.total_ticks = calibration_ticks;
-  for (const BatchStats& s : stats) {
-    result.trial_rates.push_back(s.rate());
-    result.total_ticks += s.makespan;
+  unsigned last_completed = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    if (!completed[t]) continue;
+    result.trial_rates.push_back(stats[t].rate());
+    result.total_ticks += stats[t].makespan;
+    last_completed = t;
   }
+  result.trials_completed = static_cast<unsigned>(result.trial_rates.size());
+  result.degraded = result.trials_completed < trials;
   result.rate = median(std::vector<double>(result.trial_rates));
   const auto [lo, hi] = std::minmax_element(result.trial_rates.begin(),
                                             result.trial_rates.end());
   result.rate_min = *lo;
   result.rate_max = *hi;
-  result.last = stats[trials - 1];
+  result.last = stats[last_completed];
   return result;
 }
 

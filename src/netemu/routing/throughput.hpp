@@ -39,6 +39,12 @@ struct ThroughputOptions {
   /// Run trials 1..T-1 concurrently on this pool (collaboratively: safe even
   /// when called from inside one of the pool's own tasks).  nullptr = serial.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation (docs/LIFECYCLE.md).  Cancellation during the
+  /// calibration sweep raises CancelledError (no trial has landed yet);
+  /// cancellation after >= 1 trial completed returns the completed trials as
+  /// a degraded partial result instead of throwing.  A null token costs
+  /// nothing and cannot fire.
+  CancelToken cancel{};
 };
 
 struct ThroughputResult {
@@ -47,8 +53,13 @@ struct ThroughputResult {
   double rate_max = 0.0;    ///< fastest trial (spread ceiling)
   std::size_t messages = 0; ///< batch size finally used
   BatchStats last;          ///< stats of the last trial (highest index)
-  std::vector<double> trial_rates;  ///< per-trial rate, indexed by trial
+  std::vector<double> trial_rates;  ///< rates of the COMPLETED trials only
   std::uint64_t total_ticks = 0;    ///< ticks simulated, calibration included
+  /// True when cancellation interrupted the sweep mid-way: rate/min/max/last
+  /// summarize only the trials_completed trials that finished.  False means
+  /// every requested trial ran, even if the token fired afterwards.
+  bool degraded = false;
+  unsigned trials_completed = 0;    ///< trials that ran to completion
 };
 
 ThroughputResult measure_throughput(const Machine& machine, Router& router,

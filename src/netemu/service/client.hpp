@@ -13,6 +13,13 @@
 // is down, so request() fails fast (kConnectRefused, no backoff) and lets
 // the caller — typically a FleetRouter — fail over to another backend.
 // request_raw() stays a single-attempt fast path.
+//
+// Deadline budget: a request document carrying "deadline_ms" gets ONE
+// budget for the whole request() — retries included.  Every backoff sleep
+// and per-attempt socket timeout draws from what is left of that window,
+// and retrying stops when the budget is spent, instead of each attempt
+// being granted the full allowance over again (which could stretch a
+// 200 ms deadline into seconds of client-side retrying).
 
 #include <cstdint>
 #include <memory>
@@ -111,13 +118,21 @@ class Client {
 
  private:
   bool reconnect(std::string* error);
-  void backoff_sleep(int retry_index, std::uint64_t hint_ms);
+  /// Backoff before retry `retry_index`; `cap_ms` (when nonzero) bounds the
+  /// sleep to the remaining deadline budget.
+  void backoff_sleep(int retry_index, std::uint64_t hint_ms,
+                     std::uint64_t cap_ms);
+  /// (Re)arm SO_RCVTIMEO/SO_SNDTIMEO on the current socket; 0 clears them.
+  void apply_socket_timeout(std::uint64_t timeout_ms);
 
   RetryPolicy policy_;
   Prng jitter_;
   int fd_ = -1;
   std::uint16_t port_ = 0;  ///< reconnect target (last connect / set_target)
   int connect_errno_ = 0;
+  /// A deadline budget shortened this connection's socket timeouts; the
+  /// next unbudgeted request must restore the policy value first.
+  bool socket_timeout_overridden_ = false;
   std::uint64_t retries_ = 0;
   FaultInjector* faults_ = nullptr;
   std::unique_ptr<LineChannel> channel_;  // persists read buffer across requests

@@ -61,6 +61,22 @@ scope::Counter& watchdog_counter() {
       "Hung flights cancelled by the executor watchdog");
   return c;
 }
+
+scope::Counter& compute_cancelled_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_compute_cancelled_total",
+      "Computes stopped mid-way by cooperative cancellation "
+      "(degraded partial results included)");
+  return c;
+}
+
+scope::Counter& reclaimed_cpu_counter() {
+  static scope::Counter& c = scope::Registry::global().counter(
+      "netemu_compute_reclaimed_cpu_ms_total",
+      "Estimated CPU milliseconds returned to the pool by cancelling "
+      "compute instead of letting it finish");
+  return c;
+}
 }  // namespace
 
 QueryExecutor::QueryExecutor() : QueryExecutor(Options()) {}
@@ -74,8 +90,8 @@ QueryExecutor::QueryExecutor(Options options)
     // Pass the executor's own pool down so estimate trials run concurrently;
     // measure_throughput's collaborative loop makes that safe even though
     // the compute itself occupies a pool worker.
-    options_.compute = [this](const Query& q) {
-      return plan_query(q, &pool_);
+    options_.compute = [this](const Query& q, const CancelToken& cancel) {
+      return plan_query(q, &pool_, cancel);
     };
   }
   if (options_.faults) cache_.set_fault_injector(options_.faults);
@@ -113,6 +129,10 @@ void QueryExecutor::watchdog_loop() {
       Flight& f = *it->second;
       if (!f.abandoned && now - f.started > timeout) {
         f.abandoned = true;
+        // Fire the flight's CancelSource so a cooperative compute actually
+        // stops (within one check quantum) instead of burning a worker
+        // until it finishes into an abandoned flight.
+        f.cancel.request_cancel();
         ++stats_.hung;
         --pending_;  // free the admission slot its leader occupied
         hung.push_back(it->second);
@@ -191,6 +211,9 @@ Response QueryExecutor::execute(const Query& q) {
     probe.finish();
   }
 
+  const std::uint64_t deadline_ms =
+      q.deadline_ms > 0 ? q.deadline_ms : options_.default_deadline_ms;
+
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
@@ -199,8 +222,23 @@ Response QueryExecutor::execute(const Query& q) {
     const auto it = flights_.find(key);
     if (it != flights_.end()) {
       flight = it->second;
+      ++flight->waiters;
       ++stats_.dedup_joins;
     } else {
+      if (draining_) {
+        ++stats_.rejected;
+        shed_counter().inc();
+        scope::FlightRecorder::global().record(
+            scope::FlightRecorder::Kind::kShed, tid,
+            "draining: new flight refused key=" + hex64(key));
+        exec_span.set_note("drain-shed");
+        // Overloaded-shaped so clients back off and fleet front doors fail
+        // over to a backend that is not going away.
+        response.error = "overloaded: draining";
+        response.overloaded = true;
+        response.retry_after_ms = options_.retry_after_hint_ms;
+        return finish(response);
+      }
       if (pending_ >= options_.max_queue) {
         ++stats_.rejected;
         shed_counter().inc();
@@ -218,6 +256,10 @@ Response QueryExecutor::execute(const Query& q) {
       flight->started = start;
       flight->key = key;
       flight->trace_id = tid;
+      flight->waiters = 1;
+      // Arm the compute deadline now, before the task is submitted and the
+      // token can be checked concurrently (CancelSource's arm contract).
+      flight->cancel.set_deadline_after_ms(deadline_ms);
       flights_[key] = flight;
       ++pending_;
       leader = true;
@@ -245,19 +287,56 @@ Response QueryExecutor::execute(const Query& q) {
       Response computed;
       computed.key = key;
       computed.trace_id = tid;
+      const CancelToken token = flight->cancel.token();
+      bool unwound = false;  // compute threw CancelledError (no result)
+      Json doc;
       const auto compute_start = Clock::now();
       scope::SpanTimer sim_span(tid, "sim.run");
       try {
-        computed.result = options_.compute(task_query).dump();
+        doc = options_.compute(task_query, token);
+        computed.result = doc.dump();
         computed.ok = true;
+        computed.degraded = doc["degraded"].as_bool(false);
+      } catch (const CancelledError& e) {
+        computed.error = std::string("cancelled: ") + e.what();
+        unwound = true;
       } catch (const std::exception& e) {
         computed.error = e.what();
       } catch (...) {
         computed.error = "unknown planner failure";
       }
-      if (!computed.ok) sim_span.set_note("error");
+      if (!computed.ok) sim_span.set_note(unwound ? "cancelled" : "error");
+      else if (computed.degraded) sim_span.set_note("degraded");
       sim_span.finish();
-      record_compute_micros(micros_since(compute_start));
+      const double compute_micros = micros_since(compute_start);
+      record_compute_micros(compute_micros);
+      if (unwound || computed.degraded) {
+        // Reclaimed-CPU estimate: a degraded sweep that finished c of T
+        // trials in E ms would have needed roughly E*(T-c)/c more; a full
+        // unwind reclaims "the rest of something we know nothing about" —
+        // credit the elapsed time as the scale of what was avoided.
+        const double elapsed_ms = compute_micros / 1000.0;
+        double reclaimed_ms = elapsed_ms;
+        if (computed.degraded) {
+          const double total = doc["trials"].as_number(0.0);
+          const double done_trials =
+              doc["trials_completed"].as_number(0.0);
+          reclaimed_ms = elapsed_ms * (total - done_trials) /
+                         std::max(done_trials, 1.0);
+        }
+        compute_cancelled_counter().inc();
+        reclaimed_cpu_counter().add(
+            static_cast<std::uint64_t>(std::max(0.0, reclaimed_ms)));
+        if (tid != 0) {
+          scope::TraceStore::global().add(
+              tid, scope::Span{"sim.cancel", scope::now_us(), 0,
+                               unwound ? "unwound"
+                                       : "degraded " +
+                                             doc["trials_completed"].dump() +
+                                             "/" + doc["trials"].dump() +
+                                             " trials"});
+        }
+      }
       // A failed recompute falls back to the previous cached value so a
       // transient planner fault degrades to slightly-stale instead of down.
       if (!computed.ok && options_.serve_stale_on_error) {
@@ -270,6 +349,7 @@ Response QueryExecutor::execute(const Query& q) {
       }
       {
         std::lock_guard lock(mutex_);
+        if (unwound || computed.degraded) ++stats_.cancelled;
         if (computed.stale) {
           ++stats_.errors;
           ++stats_.stale_served;
@@ -289,7 +369,9 @@ Response QueryExecutor::execute(const Query& q) {
       }
       // Errors are not cached: a transient failure should not poison the
       // content address forever.  (Stale fallbacks are already in cache.)
-      if (computed.ok && !computed.stale) {
+      // Degraded partials are not cached either — they answer the deadline
+      // that produced them, but the content address promises the full sweep.
+      if (computed.ok && !computed.stale && !computed.degraded) {
         scope::SpanTimer persist(
             tid, options_.cache_journal ? "wal.append" : "cache.put");
         cache_.put(key, computed.result);
@@ -313,6 +395,7 @@ Response QueryExecutor::execute(const Query& q) {
           flights_.erase(it);
           --pending_;
         }
+        if (flight->waiters > 0) --flight->waiters;
         ++stats_.rejected;
       }
       // Wake any follower that joined between registration and rejection.
@@ -329,17 +412,33 @@ Response QueryExecutor::execute(const Query& q) {
     }
   }
 
-  const std::uint64_t deadline_ms =
-      q.deadline_ms > 0 ? q.deadline_ms : options_.default_deadline_ms;
+  // Waiters linger a short grace past the deadline: the compute token fires
+  // AT the deadline and a cooperative compute then needs up to one check
+  // quantum plus publish time to hand back a degraded partial result —
+  // without the grace the waiter would walk away moments before the partial
+  // answer it paid for arrives.
+  const auto grace = std::chrono::milliseconds(
+      std::clamp<std::uint64_t>(deadline_ms / 8, 10, 250));
   {
     std::unique_lock flight_lock(flight->mutex);
     const bool done = flight->cv.wait_for(
-        flight_lock, std::chrono::milliseconds(deadline_ms),
+        flight_lock, std::chrono::milliseconds(deadline_ms) + grace,
         [&flight] { return flight->done; });
     if (!done) {
+      flight_lock.unlock();
+      bool last_waiter = false;
       {
         std::lock_guard lock(mutex_);
         ++stats_.deadline_exceeded;
+        if (flight->waiters > 0) --flight->waiters;
+        last_waiter = flight->waiters == 0;
+      }
+      if (last_waiter) {
+        // Nobody is listening for this answer any more: stop paying for it.
+        flight->cancel.request_cancel();
+        scope::FlightRecorder::global().record(
+            scope::FlightRecorder::Kind::kInfo, tid,
+            "last waiter left: cancelling flight key=" + hex64(key));
       }
       response.error = "deadline exceeded after " +
                        std::to_string(deadline_ms) + " ms";
@@ -347,6 +446,10 @@ Response QueryExecutor::execute(const Query& q) {
       return finish(response);
     }
     response = flight->response;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (flight->waiters > 0) --flight->waiters;
   }
   response.key = key;
   response.trace_id = tid;  // a follower's response keeps its own trace id
@@ -356,6 +459,54 @@ Response QueryExecutor::execute(const Query& q) {
 QueryExecutor::Stats QueryExecutor::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+bool QueryExecutor::cancel_trace(std::uint64_t trace_id) {
+  if (trace_id == 0) return false;
+  std::shared_ptr<Flight> target;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [key, flight] : flights_) {
+      if (flight->trace_id != trace_id) continue;
+      // A dedup-joined flight is serving other clients; the canceller only
+      // speaks for its own request, so leave shared work alone.
+      if (flight->waiters > 1) return false;
+      target = flight;
+      break;
+    }
+  }
+  if (!target) return false;
+  target->cancel.request_cancel();
+  scope::FlightRecorder::global().record(
+      scope::FlightRecorder::Kind::kInfo, trace_id,
+      "cancel op: flight key=" + hex64(target->key) + " cancelled");
+  return true;
+}
+
+std::size_t QueryExecutor::cancel_all() {
+  std::vector<std::shared_ptr<Flight>> flights;
+  {
+    std::lock_guard lock(mutex_);
+    flights.reserve(flights_.size());
+    for (const auto& [key, flight] : flights_) flights.push_back(flight);
+  }
+  for (const auto& flight : flights) flight->cancel.request_cancel();
+  return flights.size();
+}
+
+void QueryExecutor::begin_drain() {
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  scope::FlightRecorder::global().record(scope::FlightRecorder::Kind::kInfo,
+                                         0, "executor draining");
+}
+
+bool QueryExecutor::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
 }
 
 void QueryExecutor::record_compute_micros(double micros) {

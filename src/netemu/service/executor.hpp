@@ -17,9 +17,16 @@
 //
 // Resilience (netemu::faultline integration):
 //  * a watchdog thread cancels flights older than hang_timeout_ms — waiters
-//    get a "hung" error, the admission slot is freed immediately, and the
-//    stuck computation (which cannot be killed) still fills the cache if it
-//    ever finishes, instead of leaking its flight entry forever;
+//    get a "hung" error, the admission slot is freed immediately, AND the
+//    flight's CancelSource fires so a cooperative compute unwinds within one
+//    check quantum instead of burning a pool worker until completion;
+//  * cooperative cancellation end-to-end (docs/LIFECYCLE.md): every flight
+//    owns a CancelSource armed with the leader's deadline; compute stopped
+//    mid-sweep surfaces completed trials as a degraded partial result (kept
+//    out of the cache), watchdog abandonment / last-waiter deadline expiry /
+//    cancel_trace (the {"op":"cancel"} verb) all convert to real compute
+//    cancellation, and begin_drain() sheds new work while cancel_all()
+//    reclaims what is still running;
 //  * serve_stale_on_error: a recompute (refresh=true) that fails falls back
 //    to the previous cached value, marked stale, instead of erroring;
 //  * Options::faults routes worker stalls from a FaultInjector into the
@@ -39,6 +46,7 @@
 #include "netemu/scope/metrics.hpp"
 #include "netemu/service/query.hpp"
 #include "netemu/service/result_cache.hpp"
+#include "netemu/util/cancel.hpp"
 #include "netemu/util/json.hpp"
 #include "netemu/util/thread_pool.hpp"
 
@@ -51,6 +59,8 @@ struct Response {
   bool cache_hit = false;
   bool stale = false;       ///< served from cache after a recompute failure
   bool overloaded = false;  ///< shed by admission control (when !ok)
+  bool degraded = false;    ///< deadline-bounded partial result (when ok);
+                            ///< never cached — a refresh recomputes in full
   std::string error;        ///< set when !ok
   std::string result;       ///< serialized result document (when ok)
   std::uint64_t key = 0;    ///< content address of the query
@@ -84,8 +94,13 @@ class QueryExecutor {
     FaultInjector* faults = nullptr;
     /// Compute function; defaults to plan_query with the executor's own
     /// pool passed down (estimate trials then run concurrently).  Tests
-    /// inject counters and slow functions here.
-    std::function<Json(const Query&)> compute;
+    /// inject counters and slow functions here.  The token is the flight's:
+    /// armed with the leader's deadline, fired by the watchdog / the last
+    /// departing waiter / cancel_trace / cancel_all.  Compute that honors
+    /// it either throws CancelledError or returns a document with
+    /// "degraded": true (see plan_query); compute that ignores it merely
+    /// keeps the pre-cancellation behavior.
+    std::function<Json(const Query&, const CancelToken&)> compute;
   };
 
   QueryExecutor();  // all-default Options
@@ -109,8 +124,27 @@ class QueryExecutor {
     std::uint64_t errors = 0;          ///< compute failures
     std::uint64_t hung = 0;            ///< flights cancelled by the watchdog
     std::uint64_t stale_served = 0;    ///< recompute failures served stale
+    std::uint64_t cancelled = 0;       ///< computes stopped by cooperative
+                                       ///< cancellation (degraded partials
+                                       ///< included)
   };
   Stats stats() const;
+
+  /// Fire the CancelSource of the flight carrying this trace id (the
+  /// {"op":"cancel"} verb; hedge losers are cancelled this way).  Declined
+  /// when the flight has more than one waiter — a dedup-joined flight is
+  /// serving other clients.  Returns whether a cancellation was requested.
+  bool cancel_trace(std::uint64_t trace_id);
+
+  /// Fire every registered flight's CancelSource (drain).  Returns how many
+  /// flights were signalled.
+  std::size_t cancel_all();
+
+  /// Enter drain mode: new queries that would start a flight are shed with
+  /// an "overloaded" draining error (so fleet front doors fail over), cache
+  /// hits and joins of already-running flights still serve.  Irreversible.
+  void begin_drain();
+  bool draining() const;
 
   /// Lifetime compute-time distribution (cache hits and shed requests
   /// excluded), read from this executor's scope::Histogram — bounded
@@ -149,6 +183,10 @@ class QueryExecutor {
     std::uint64_t key = 0;          // immutable after creation
     std::uint64_t trace_id = 0;     // leader's trace id (immutable)
     bool abandoned = false;     // guarded by the executor mutex_
+    // Deadline armed at creation (before the compute task exists); fired by
+    // the watchdog, the last departing waiter, cancel_trace, or cancel_all.
+    CancelSource cancel;
+    std::size_t waiters = 0;    // guarded by the executor mutex_
   };
 
   void watchdog_loop();
@@ -159,10 +197,11 @@ class QueryExecutor {
 
   void record_compute_micros(double micros);
 
-  mutable std::mutex mutex_;  // guards flights_, pending_, stats_
+  mutable std::mutex mutex_;  // guards flights_, pending_, stats_, draining_
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t pending_ = 0;
   Stats stats_;
+  bool draining_ = false;
   scope::Histogram compute_us_;  // lock-free; written by workers, read by
                                  // compute_times() without mutex_
 

@@ -100,7 +100,8 @@ Json plan_bandwidth(const Query& q) {
   return doc;
 }
 
-Json plan_estimate(const Query& q, ThreadPool* pool) {
+Json plan_estimate(const Query& q, ThreadPool* pool,
+                   const CancelToken& cancel) {
   Prng rng(q.seed);
   const Machine machine =
       make_machine(q.family, static_cast<std::size_t>(q.n), q.k, rng);
@@ -111,6 +112,7 @@ Json plan_estimate(const Query& q, ThreadPool* pool) {
     case RouterChoice::kBfs: router = make_bfs_router(machine); break;
     case RouterChoice::kValiant: router = make_valiant_router(machine); break;
   }
+  router->set_cancel_token(cancel);
 
   const TrafficDistribution traffic = make_traffic(q, machine, rng);
 
@@ -118,6 +120,7 @@ Json plan_estimate(const Query& q, ThreadPool* pool) {
   options.trials = q.trials;
   options.arbitration = q.arbitration;
   options.pool = pool;
+  options.cancel = cancel;
   const ThroughputResult r =
       measure_throughput(machine, *router, traffic, rng, options);
 
@@ -139,6 +142,12 @@ Json plan_estimate(const Query& q, ThreadPool* pool) {
   doc["avg_latency"] = r.last.avg_latency;
   doc["static_congestion"] = r.last.static_congestion;
   doc["simulated_ticks"] = r.total_ticks;
+  if (r.degraded) {
+    // Deadline-bounded partial result: the executor keeps it out of the
+    // cache and the client sees which slice of the sweep actually ran.
+    doc["degraded"] = true;
+    doc["trials_completed"] = r.trials_completed;
+  }
   return doc;
 }
 
@@ -198,10 +207,10 @@ Json plan_bounds(const Query& q) {
   return doc;
 }
 
-Json plan_query(const Query& q, ThreadPool* pool) {
+Json plan_query(const Query& q, ThreadPool* pool, const CancelToken& cancel) {
   switch (q.kind) {
     case QueryKind::kBandwidth: return plan_bandwidth(q);
-    case QueryKind::kEstimate: return plan_estimate(q, pool);
+    case QueryKind::kEstimate: return plan_estimate(q, pool, cancel);
     case QueryKind::kMaxHost: return plan_max_host(q);
     case QueryKind::kBounds: return plan_bounds(q);
   }

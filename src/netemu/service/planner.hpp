@@ -5,6 +5,7 @@
 // is what makes the results content-addressable.
 
 #include "netemu/service/query.hpp"
+#include "netemu/util/cancel.hpp"
 #include "netemu/util/json.hpp"
 #include "netemu/util/thread_pool.hpp"
 
@@ -18,12 +19,20 @@ namespace netemu {
 /// trials concurrently; the executor passes its own worker pool down, which
 /// is safe because measure_throughput uses the collaborative for_n.  The
 /// result is bit-identical with and without a pool (see throughput.hpp).
-Json plan_query(const Query& q, ThreadPool* pool = nullptr);
+///
+/// `cancel` propagates into the estimate kind's routing and simulation loops
+/// (docs/LIFECYCLE.md): cancellation before any trial finished raises
+/// CancelledError; after at least one trial the document comes back with
+/// "degraded": true and "trials_completed" instead.  The closed-form kinds
+/// finish in microseconds and ignore the token.
+Json plan_query(const Query& q, ThreadPool* pool = nullptr,
+                const CancelToken& cancel = {});
 
 // Individual kinds (exposed for tests).
 Json plan_bandwidth(const Query& q);  ///< closed-form beta/Lambda registry
 /// Packet-simulated beta-hat; trials run on `pool` when given.
-Json plan_estimate(const Query& q, ThreadPool* pool = nullptr);
+Json plan_estimate(const Query& q, ThreadPool* pool = nullptr,
+                   const CancelToken& cancel = {});
 Json plan_max_host(const Query& q);   ///< Tables 1-3 solver
 Json plan_bounds(const Query& q);     ///< EET vs. Koch et al. baselines
 

@@ -48,6 +48,7 @@ std::string stats_line(QueryExecutor& exec, const Json& request) {
   result["errors"] = s.errors;
   result["hung"] = s.hung;
   result["stale_served"] = s.stale_served;
+  result["cancelled"] = s.cancelled;
   Json cache = Json::object();
   cache["size"] = exec.cache().size();
   cache["capacity"] = exec.cache().capacity();
@@ -114,6 +115,7 @@ std::string health_line(QueryExecutor& exec) {
   flights["active"] = exec.active_flights();
   flights["hung"] = s.hung;
   flights["stale_served"] = s.stale_served;
+  flights["cancelled"] = s.cancelled;
 
   // Per-query compute-time distribution (scope histogram over all computes)
   // plus cumulative simulation volume, so perf regressions show up in the
@@ -132,7 +134,11 @@ std::string health_line(QueryExecutor& exec) {
   compute["epoch_unix_s"] = scope::process_epoch_unix_s();
 
   Json result = Json::object();
-  result["status"] = pending >= max_queue ? "overloaded" : "ok";
+  // Draining outranks overloaded: a drained backend is going away, and a
+  // fleet probe that sees it should route new work elsewhere.
+  result["status"] = exec.draining()            ? "draining"
+                     : pending >= max_queue ? "overloaded"
+                                            : "ok";
   result["uptime_s"] = exec.uptime_seconds();
   result["pool"] = std::move(pool);
   result["cache"] = std::move(cache);
@@ -179,6 +185,9 @@ std::string response_to_line(const Response& r) {
   line += ",\"ok\":true,\"result\":";
   line += r.result;
   if (r.stale) line += ",\"stale\":true";
+  // Top-level mirror of the result document's "degraded" marker so clients
+  // can notice a partial answer without parsing the result body.
+  if (r.degraded) line += ",\"degraded\":true";
   if (r.trace_id != 0) {
     line += ",\"trace\":\"";
     line += hex64(r.trace_id);
@@ -189,7 +198,8 @@ std::string response_to_line(const Response& r) {
 }
 
 std::string handle_request_line(const std::string& line, QueryExecutor& exec,
-                                bool* shutdown_requested) {
+                                bool* shutdown_requested,
+                                bool* drain_requested) {
   std::string error;
   const Json request = Json::parse(line, &error);
   if (!error.empty()) return error_line("bad JSON: " + error);
@@ -208,6 +218,35 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
   if (op == "health") return health_line(exec);
   if (op == "trace") return trace_line(request);
   if (op == "events") return events_line();
+  if (op == "cancel") {
+    const Json& id = request["trace"];
+    if (!id.is_string()) {
+      return error_line("cancel: missing string field 'trace'");
+    }
+    const std::uint64_t trace_id = scope::parse_trace_id(id.as_string());
+    if (trace_id == 0) {
+      return error_line("cancel: 'trace' must be a nonzero hex64 id");
+    }
+    Json doc = Json::object();
+    doc["ok"] = true;
+    Json result = Json::object();
+    result["cancelled"] = exec.cancel_trace(trace_id);
+    doc["result"] = std::move(result);
+    return doc.dump();
+  }
+  if (op == "drain") {
+    // Shed new flights right away; the daemon (when wired up via
+    // drain_requested) then bounds the remaining in-flight work, snapshots
+    // the cache, and exits.
+    exec.begin_drain();
+    if (drain_requested) *drain_requested = true;
+    Json doc = Json::object();
+    doc["ok"] = true;
+    Json result = Json::object();
+    result["draining"] = true;
+    doc["result"] = std::move(result);
+    return doc.dump();
+  }
   if (op == "shutdown") {
     if (shutdown_requested) *shutdown_requested = true;
     Json doc = Json::object();

@@ -14,6 +14,15 @@
 //   {"op":"trace","id":"<hex64>"} -> span set recorded for that trace id
 //                         (see scope/trace.hpp for the span catalog)
 //   {"op":"events"}    -> recent flight-recorder events (postmortem ring)
+//   {"op":"cancel","trace":"<hex64>"} -> fire the CancelSource of the flight
+//                         carrying that trace id (hedge losers; impatient
+//                         clients).  Declined — {"cancelled":false} — when no
+//                         such flight exists or other waiters share it.
+//   {"op":"drain"}     -> enter drain mode: the executor sheds new flights
+//                         ("overloaded: draining"), running work finishes or
+//                         is cancelled by the daemon's drain budget, then the
+//                         daemon snapshots its cache and exits cleanly
+//                         (docs/LIFECYCLE.md; SIGTERM does the same)
 //   {"op":"shutdown"}  -> ack, then the daemon stops accepting
 //
 // Every response carries "ok"; successes carry "result", "cache_hit" and
@@ -38,9 +47,12 @@ class FaultInjector;
 
 /// Handle one request line (without trailing newline) against an executor.
 /// Returns the response line (without trailing newline).  If the request is
-/// a shutdown op and `shutdown_requested` is non-null, sets it.
+/// a shutdown op and `shutdown_requested` is non-null, sets it.  A drain op
+/// puts the executor into drain mode immediately and sets `drain_requested`
+/// (when non-null) so the daemon can run its bounded drain sequence.
 std::string handle_request_line(const std::string& line, QueryExecutor& exec,
-                                bool* shutdown_requested = nullptr);
+                                bool* shutdown_requested = nullptr,
+                                bool* drain_requested = nullptr);
 
 /// Serialize a Response into the response document text.  `result` is
 /// spliced in verbatim (it is already JSON), so the cached fast path never

@@ -137,6 +137,17 @@ void Server::request_stop() {
   stop_cv_.notify_all();
 }
 
+void Server::begin_drain() {
+  std::lock_guard lock(mutex_);
+  // Same unblock trick as stop(), listener only: the accept thread wakes
+  // with a failing accept() and exits; stop() joins it later.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
 void Server::wait() {
   {
     std::unique_lock lock(mutex_);

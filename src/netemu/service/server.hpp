@@ -72,6 +72,12 @@ class Server {
   /// Idempotent full stop: close listener and connections, join threads.
   void stop();
 
+  /// Drain: close the listener (no new connections) but leave every live
+  /// connection untouched so in-flight responses are still delivered and
+  /// late requests on open connections get their shed/answer.  Idempotent;
+  /// follow with stop() once the drain budget elapses (docs/LIFECYCLE.md).
+  void begin_drain();
+
   bool running() const;
 
  private:

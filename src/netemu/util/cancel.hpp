@@ -1,0 +1,133 @@
+#pragma once
+// Cooperative cancellation: the deadline/cancel plumbing every long-running
+// compute path checks (docs/LIFECYCLE.md).
+//
+// Model:
+//  * a CancelSource owns the shared cancel state — a cancel flag plus an
+//    optional deadline — and is held by whoever can decide to stop the work
+//    (the executor's flight, a drain sequence, a test);
+//  * CancelTokens are cheap copyable views handed down into compute code
+//    (run_batch tick loops, measure_throughput trials, BfsRouter BFS prep).
+//    A default-constructed token is NULL: it can never fire and its checks
+//    cost one pointer compare, so un-cancellable callers pay ~nothing;
+//  * compute code polls cancelled() at an amortized cadence —
+//    kCancelCheckTicks units of work between checks — and raises
+//    CancelledError to unwind.  The contract "cancelled work stops within
+//    one check quantum" is what the executor's reclaimed-CPU accounting and
+//    netemu_serve's bounded drain both lean on.
+//
+// Determinism: checking a token never draws randomness or reorders work, so
+// a run with a never-firing token is bit-identical to a run with none
+// (tests/sim_golden_test.cpp proves it against the golden tables).
+//
+// The deadline is latched: once observed expired, the flag is set so later
+// checks are a single relaxed load instead of a clock read.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace netemu {
+
+/// Thrown by cancelled compute to unwind out of a simulation / trial loop.
+/// The executor maps it to a "cancelled" error response (or to a degraded
+/// partial result when measure_throughput already banked completed trials).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cancelled") {}
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Units of work (simulator ticks, routed messages, BFS pops) between
+/// cancellation checks.  Power of two so the hot-loop test compiles to one
+/// AND + branch.
+inline constexpr std::uint64_t kCancelCheckTicks = 4096;
+
+class CancelSource;
+
+/// Cheap copyable view of a CancelSource's state.  Default-constructed
+/// tokens are null: never fire, near-zero check cost.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Can this token ever fire?  (False for default-constructed tokens.)
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Has cancellation been requested (or the deadline passed)?  Latches the
+  /// deadline into the flag so repeated checks stay one relaxed load.
+  bool cancelled() const noexcept {
+    if (!state_) return false;
+    if (state_->flag.load(std::memory_order_relaxed)) return true;
+    if (state_->has_deadline && Clock::now() >= state_->deadline) {
+      state_->flag.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Throw CancelledError if cancelled.  The amortized check compute loops
+  /// call every kCancelCheckTicks units of work.
+  void check() const {
+    if (cancelled()) throw CancelledError("cancellation requested");
+  }
+
+ private:
+  friend class CancelSource;
+
+  struct State {
+    std::atomic<bool> flag{false};
+    bool has_deadline = false;        // immutable after arm()
+    Clock::time_point deadline{};     // immutable after arm()
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Owner side: request_cancel() / a deadline flips every token minted from
+/// this source.  Thread-safe; tokens outlive the source via shared state.
+class CancelSource {
+ public:
+  using Clock = CancelToken::Clock;
+
+  CancelSource() : state_(std::make_shared<CancelToken::State>()) {}
+
+  CancelSource(const CancelSource&) = delete;
+  CancelSource& operator=(const CancelSource&) = delete;
+  CancelSource(CancelSource&&) = default;
+  CancelSource& operator=(CancelSource&&) = default;
+
+  /// Flip the cancel flag.  Idempotent; safe from any thread.
+  void request_cancel() noexcept {
+    state_->flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arm a wall-clock deadline.  Must be called before tokens are checked
+  /// concurrently (the executor arms it at flight creation, before the
+  /// compute task is submitted); 0 ms means "no deadline".
+  void set_deadline_after_ms(std::uint64_t ms) noexcept {
+    if (ms == 0) return;
+    state_->deadline = Clock::now() + std::chrono::milliseconds(ms);
+    state_->has_deadline = true;
+  }
+
+  bool cancel_requested() const noexcept {
+    return state_->flag.load(std::memory_order_relaxed);
+  }
+
+  /// Mint a token viewing this source's state.
+  CancelToken token() const noexcept { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<CancelToken::State> state_;
+};
+
+}  // namespace netemu

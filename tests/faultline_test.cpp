@@ -396,7 +396,7 @@ TEST(ExecutorFaults, WatchdogCancelsHungFlightAndFreesSlot) {
   options.threads = 2;
   options.max_queue = 1;
   options.hang_timeout_ms = 60;
-  options.compute = [gate_future, calls](const Query& q) {
+  options.compute = [gate_future, calls](const Query& q, const CancelToken&) {
     if (calls->fetch_add(1) == 0) gate_future->wait();  // first call hangs
     Json doc = Json::object();
     doc["n"] = q.n;
@@ -434,7 +434,7 @@ TEST(ExecutorFaults, RefreshBypassesCacheAndRecomputes) {
   auto calls = std::make_shared<std::atomic<int>>(0);
   QueryExecutor::Options options;
   options.threads = 1;
-  options.compute = [calls](const Query&) {
+  options.compute = [calls](const Query&, const CancelToken&) {
     Json doc = Json::object();
     doc["call"] = calls->fetch_add(1) + 1;
     return doc;
@@ -460,7 +460,7 @@ TEST(ExecutorFaults, FailedRecomputeServesStale) {
   auto fail = std::make_shared<std::atomic<bool>>(false);
   QueryExecutor::Options options;
   options.threads = 1;
-  options.compute = [fail](const Query&) -> Json {
+  options.compute = [fail](const Query&, const CancelToken&) -> Json {
     if (fail->load()) throw std::runtime_error("planner fault");
     Json doc = Json::object();
     doc["fresh"] = true;
@@ -496,7 +496,7 @@ TEST(ExecutorFaults, ShedResponseCarriesRetryAfterHint) {
   options.threads = 1;
   options.max_queue = 1;
   options.retry_after_hint_ms = 75;
-  options.compute = [started, gate_future](const Query&) {
+  options.compute = [started, gate_future](const Query&, const CancelToken&) {
     started->set_value();
     gate_future->wait();
     return Json::object();
@@ -525,7 +525,7 @@ TEST(ExecutorFaults, InjectedWorkerStallsAreAbsorbed) {
   QueryExecutor::Options options;
   options.threads = 2;
   options.faults = &injector;
-  options.compute = [](const Query& q) {
+  options.compute = [](const Query& q, const CancelToken&) {
     Json doc = Json::object();
     doc["n"] = q.n;
     return doc;
@@ -544,7 +544,7 @@ TEST(Protocol, HealthReportsPoolCacheAndShedState) {
   options.threads = 2;
   options.max_queue = 16;
   options.retry_after_hint_ms = 33;
-  options.compute = [](const Query&) { return Json::object(); };
+  options.compute = [](const Query&, const CancelToken&) { return Json::object(); };
   QueryExecutor executor(std::move(options));
   ASSERT_TRUE(executor.execute(bandwidth_query(64)).ok);
 
@@ -567,7 +567,7 @@ TEST(Protocol, HealthReportsPoolCacheAndShedState) {
 
 TEST(Protocol, OverlongRequestLineGetsProtocolErrorAndConnectionSurvives) {
   QueryExecutor::Options options;
-  options.compute = [](const Query&) { return Json::object(); };
+  options.compute = [](const Query&, const CancelToken&) { return Json::object(); };
   QueryExecutor executor(std::move(options));
   Server::Options server_options;
   server_options.port = 0;
@@ -598,7 +598,7 @@ TEST(ClientRetry, SurvivesServerSideConnectionDrops) {
 
   QueryExecutor::Options options;
   options.threads = 2;
-  options.compute = [](const Query& q) {
+  options.compute = [](const Query& q, const CancelToken&) {
     Json doc = Json::object();
     doc["n"] = q.n;
     return doc;
@@ -645,7 +645,7 @@ TEST(ClientRetry, HonorsOverloadedRetryAfterHint) {
   options.threads = 1;
   options.max_queue = 1;
   options.retry_after_hint_ms = 20;
-  options.compute = [started, gate_future, first](const Query& q) {
+  options.compute = [started, gate_future, first](const Query& q, const CancelToken&) {
     if (first->exchange(false)) {
       started->set_value();
       gate_future->wait();
@@ -733,7 +733,7 @@ TEST(ChaosSoak, MultiSeedRoundTripsLoseNothing) {
       options.hang_timeout_ms = 2000;
       options.cache_file = cache_path;
       options.faults = &injector;
-      options.compute = [](const Query& q) {
+      options.compute = [](const Query& q, const CancelToken&) {
         Json doc = Json::object();
         doc["n"] = q.n;
         return doc;

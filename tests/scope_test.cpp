@@ -389,7 +389,7 @@ QueryExecutor::Options traced_executor_options(bool journal,
   o.load_cache = false;
   o.cache_journal = journal && !cache_file.empty();
   o.faults = faults;
-  o.compute = [](const Query&) {
+  o.compute = [](const Query&, const CancelToken&) {
     Json j = Json::object();
     j["v"] = 1.0;
     return j;

@@ -387,7 +387,7 @@ TEST(Executor, SingleFlightDedup) {
   auto invocations = std::make_shared<std::atomic<int>>(0);
   QueryExecutor::Options options;
   options.threads = 2;
-  options.compute = [invocations](const Query&) {
+  options.compute = [invocations](const Query&, const CancelToken&) {
     invocations->fetch_add(1);
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     Json doc = Json::object();
@@ -424,7 +424,7 @@ TEST(Executor, DistinctQueriesComputeIndependently) {
   auto invocations = std::make_shared<std::atomic<int>>(0);
   QueryExecutor::Options options;
   options.threads = 4;
-  options.compute = [invocations](const Query& q) {
+  options.compute = [invocations](const Query& q, const CancelToken&) {
     invocations->fetch_add(1);
     Json doc = Json::object();
     doc["n"] = q.n;
@@ -448,7 +448,7 @@ TEST(Executor, AdmissionQueueRejectsWhenFull) {
   QueryExecutor::Options options;
   options.threads = 1;
   options.max_queue = 1;
-  options.compute = [started, gate_future](const Query&) {
+  options.compute = [started, gate_future](const Query&, const CancelToken&) {
     started->set_value();
     gate_future->wait();
     return Json::object();
@@ -476,7 +476,7 @@ TEST(Executor, DeadlineExceededButResultStillCached) {
       std::make_shared<std::shared_future<void>>(gate->get_future());
   QueryExecutor::Options options;
   options.threads = 1;
-  options.compute = [gate_future](const Query&) {
+  options.compute = [gate_future](const Query&, const CancelToken&) {
     gate_future->wait();
     Json doc = Json::object();
     doc["late"] = true;
@@ -507,7 +507,7 @@ TEST(Executor, ComputeErrorsAreReportedAndNotCached) {
   auto invocations = std::make_shared<std::atomic<int>>(0);
   QueryExecutor::Options options;
   options.threads = 1;
-  options.compute = [invocations](const Query&) -> Json {
+  options.compute = [invocations](const Query&, const CancelToken&) -> Json {
     invocations->fetch_add(1);
     throw std::runtime_error("boom");
   };
@@ -528,7 +528,7 @@ TEST(Executor, PersistsCacheAcrossInstances) {
   {
     QueryExecutor::Options options;
     options.cache_file = path;
-    options.compute = [](const Query&) {
+    options.compute = [](const Query&, const CancelToken&) {
       Json doc = Json::object();
       doc["expensive"] = true;
       return doc;
@@ -539,7 +539,7 @@ TEST(Executor, PersistsCacheAcrossInstances) {
   {
     QueryExecutor::Options options;
     options.cache_file = path;
-    options.compute = [](const Query&) -> Json {
+    options.compute = [](const Query&, const CancelToken&) -> Json {
       throw std::runtime_error("should have been served from disk");
     };
     QueryExecutor executor(std::move(options));
@@ -619,7 +619,7 @@ TEST(Planner, InfeasibleTrafficThrows) {
 
 TEST(Protocol, HandlesControlOpsAndBadInput) {
   QueryExecutor::Options options;
-  options.compute = [](const Query&) { return Json::object(); };
+  options.compute = [](const Query&, const CancelToken&) { return Json::object(); };
   QueryExecutor executor(std::move(options));
 
   const Json pong = Json::parse(handle_request_line(R"({"op":"ping"})",
@@ -640,7 +640,7 @@ TEST(Protocol, HandlesControlOpsAndBadInput) {
 
 TEST(Protocol, HealthReportsComputeTimes) {
   QueryExecutor::Options options;
-  options.compute = [](const Query&) { return Json::object(); };
+  options.compute = [](const Query&, const CancelToken&) { return Json::object(); };
   QueryExecutor executor(std::move(options));
 
   const Json before =
@@ -705,7 +705,7 @@ TEST(Server, LoopbackEndToEnd) {
 
 TEST(Server, ManyConcurrentConnections) {
   QueryExecutor::Options options;
-  options.compute = [](const Query& q) {
+  options.compute = [](const Query& q, const CancelToken&) {
     Json doc = Json::object();
     doc["n"] = q.n;
     return doc;

@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "netemu/routing/bfs_router.hpp"
@@ -217,6 +220,119 @@ TEST(SimGolden, ThroughputIsThreadCountInvariant) {
     EXPECT_EQ(r.last, serial.last);
     EXPECT_EQ(r.total_ticks, serial.total_ticks);
   }
+}
+
+// --------------------------------------------------------------------------
+// Cooperative cancellation: a token must never perturb the simulation it
+// does not stop, and must stop one promptly when it fires.
+
+TEST(SimGolden, NeverFiringCancelTokenIsBitIdentical) {
+  // An armed-but-never-firing token takes the real amortized-check branch
+  // on every quantum boundary; the stats must still match the goldens
+  // exactly — cancellation checks may not draw randomness or reorder work.
+  CancelSource source;
+  source.set_deadline_after_ms(3'600'000);
+  const CancelToken token = source.token();
+
+  std::string built_for;
+  std::vector<std::vector<Vertex>> paths;
+  for (const GoldenRow& row : kGolden) {
+    Machine m = golden_machine(row.topology);
+    const std::size_t n = m.graph.num_vertices();
+    if (built_for != row.topology) {
+      paths = golden_paths(m, 4 * n, 12345);
+      built_for = row.topology;
+    }
+    if (row.capped) m.forward_cap.assign(n, 1);
+
+    PacketSimulator sim(m, row.arbitration);
+    Prng rng(777);
+    const BatchStats s = sim.run_batch(paths, rng, token);
+    SCOPED_TRACE(std::string(row.topology) + "/" +
+                 arbitration_name(row.arbitration) +
+                 (row.capped ? "/capped" : "/uncapped"));
+    EXPECT_EQ(s.makespan, row.makespan);
+    EXPECT_EQ(s.delivered, row.delivered);
+    EXPECT_EQ(s.total_hops, row.total_hops);
+    EXPECT_EQ(s.static_congestion, row.static_congestion);
+    EXPECT_DOUBLE_EQ(s.avg_latency, row.avg_latency);
+  }
+}
+
+TEST(SimGolden, ThroughputWithNeverFiringTokenIsBitIdentical) {
+  const Machine m = make_mesh({8, 8});
+  const ThroughputResult plain = measure_with_threads(m, 4, 6);
+
+  CancelSource source;
+  source.set_deadline_after_ms(3'600'000);
+  ThreadPool pool(4);
+  BfsRouter router(m, /*spread=*/true);
+  router.set_cancel_token(source.token());
+  std::vector<Vertex> procs(m.graph.num_vertices());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    procs[i] = static_cast<Vertex>(i);
+  }
+  const auto traffic = TrafficDistribution::symmetric(std::move(procs));
+  ThroughputOptions opt;
+  opt.trials = 6;
+  opt.pool = &pool;
+  opt.cancel = source.token();
+  Prng rng(31337);
+  const ThroughputResult r = measure_throughput(m, router, traffic, rng, opt);
+
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.trials_completed, 6u);
+  EXPECT_EQ(r.trial_rates, plain.trial_rates);
+  EXPECT_EQ(r.rate, plain.rate);
+  EXPECT_EQ(r.last, plain.last);
+  EXPECT_EQ(r.total_ticks, plain.total_ticks);
+}
+
+TEST(SimGolden, PreCancelledBatchNeverStartsSimulating) {
+  const Machine m = make_mesh({4, 4});
+  const auto paths = golden_paths(m, 32, 7);
+  PacketSimulator sim(m);
+  const auto batch = sim.prepare(paths);
+  CancelSource source;
+  source.request_cancel();
+  Prng rng(1);
+  const std::uint64_t before = simulated_ticks_total();
+  EXPECT_THROW(sim.run_batch(batch, rng, source.token()), CancelledError);
+  EXPECT_EQ(simulated_ticks_total(), before);  // zero ticks simulated
+}
+
+TEST(SimGolden, CancelStopsALongRunningBatchEarly) {
+  // A capped tree serializes all cross-root traffic through one edge, so a
+  // big batch runs for tens of thousands of ticks — long enough that the
+  // cancel below always lands while the simulation is still going.
+  Machine m = make_tree(5);
+  const std::size_t n = m.graph.num_vertices();
+  m.forward_cap.assign(n, 1);
+  const auto paths = golden_paths(m, 300 * n, 12345);
+  PacketSimulator sim(m);
+  const auto batch = sim.prepare(paths);
+
+  CancelSource source;
+  std::atomic<bool> threw{false};
+  std::thread runner([&] {
+    Prng rng(777);
+    try {
+      sim.run_batch(batch, rng, source.token());
+    } catch (const CancelledError&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto t0 = std::chrono::steady_clock::now();
+  source.request_cancel();
+  runner.join();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_TRUE(threw.load());
+  // One check quantum is 4096 ticks; even with slack for scheduling, the
+  // unwind is far quicker than the seconds the full batch would take.
+  EXPECT_LT(stop_ms, 2000);
 }
 
 TEST(SimGolden, SimulatedTicksCounterAdvances) {
