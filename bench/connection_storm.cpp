@@ -1,0 +1,497 @@
+// connection_storm: the acceptance bench for the sharded epoll I/O plane
+// (docs/SERVICE.md "I/O plane", docs/PERF.md).  Proves the epoll plane
+// holds tens of thousands of mostly-idle connections while serving a hot
+// cache-hit workload — the regime where the legacy thread-per-connection
+// plane burns a kernel thread (two VMAs: stack + guard page) per idle
+// socket and hits the default-kernel `vm.max_map_count` ceiling of 65530
+// at roughly 32k connections — without regressing small-fleet latency.
+//
+// Per plane (--mode epoll|blocking|both):
+//
+//   latency — on a fresh, otherwise idle server, 64 closed-loop
+//             connections time every request -> p50/p99 microseconds
+//             (best of two reps; run first so the storm's aftermath
+//             cannot pollute the small-fleet numbers).
+//   storm   — open N connections (--connections, default 40000; raises
+//             RLIMIT_NOFILE and rotates client source addresses across
+//             127.0.0.1-4 to dodge the ~28k ephemeral-port ceiling per
+//             source ip), verify each answers a ping, and HOLD them open.
+//   hot     — W workers churn cache-hit bursts (fresh connection, one
+//             pipelined burst, disconnect — the shape netemu_query
+//             produces) for a fixed wall-clock box (--hot-seconds) while
+//             the storm stays parked.  qps counts only requests that were
+//             answered inside the box; a plane refusing connections at
+//             its scaling ceiling earns a collapse, not a fast failure.
+//
+// Gates (full mode only; --smoke records numbers without gating):
+//   * the epoll plane sustains every storm connection
+//   * the epoll hot phase is failure-free
+//   * epoll hot qps >= 3x the blocking plane's under the storm
+//   * epoll p99 at 64 connections <= 1.10x the blocking plane's
+//
+// The blocking plane is expected to fall over under the full storm: every
+// parked connection pins a live thread, every churned connection leaves a
+// dead-but-unjoined thread whose stack stays mapped until stop(), and the
+// two together march the process into the kernel's map ceiling, after
+// which it refuses all new connections.  That collapse is the measured
+// finding, not a bench failure — only the epoll plane must stay clean.
+//
+// Writes BENCH_service.json (schema netemu-bench-service/1) so every PR has
+// a tracked serving-plane baseline next to BENCH_sim.json.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "netemu/scope/metrics.hpp"
+#include "netemu/service/client.hpp"
+#include "netemu/service/protocol.hpp"
+#include "netemu/service/server.hpp"
+#include "netemu/util/cli.hpp"
+#include "netemu/util/json.hpp"
+#include "netemu/util/table.hpp"
+
+using namespace netemu;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Minimal raw connection: the storm holds tens of thousands of these, so
+/// they must cost two buffers, not a Client with its retry machinery.
+class RawConn {
+ public:
+  /// Connect to 127.0.0.1:port.  `src_slot` rotates the client source
+  /// address across 127.0.0.1-4: each source ip has its own ~28k ephemeral
+  /// port space, so a 40k-connection storm to one destination needs more
+  /// than one.  Loopback owns all of 127/8, no configuration required.
+  bool connect_to(std::uint16_t port, std::uint32_t src_slot = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in src{};
+    src.sin_family = AF_INET;
+    src.sin_addr.s_addr = htonl(0x7F000001u + (src_slot % 4u));
+    src.sin_port = 0;
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
+      close();
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // RST on close instead of TIME_WAIT: the bench opens tens of thousands
+    // of loopback connections and would exhaust the ephemeral port range
+    // long before the 60 s TIME_WAIT timers expire.  Every response is
+    // fully read before close, so no data is lost to the reset.
+    const linger rst{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &rst, sizeof(rst));
+    return true;
+  }
+
+  ~RawConn() { close(); }
+  RawConn() = default;
+  RawConn(RawConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  RawConn& operator=(RawConn&&) = delete;
+  RawConn(const RawConn&) = delete;
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Send `payload` (pre-framed request lines) in one burst and read until
+  /// `expect_lines` responses arrived.  The pipelined shape is the point:
+  /// the epoll plane answers a whole burst with one coalesced flush where
+  /// the blocking plane pays a write syscall per response.  False on any
+  /// transport failure (including the server refusing the connection).
+  bool burst(const std::string& payload, std::size_t expect_lines,
+             std::string* responses) {
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n = ::send(fd_, payload.data() + off,
+                               payload.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    responses->clear();
+    std::size_t lines = 0;
+    char chunk[65536];
+    while (lines < expect_lines) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (chunk[i] == '\n') ++lines;
+      }
+      responses->append(chunk, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  /// Single request/response round trip (a burst of one).
+  bool roundtrip(const std::string& line, std::string* response = nullptr) {
+    std::string buffer;
+    if (!burst(line + "\n", 1, &buffer)) return false;
+    if (response) *response = buffer.substr(0, buffer.find('\n'));
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Raise RLIMIT_NOFILE toward `need` (server + client fds live in this one
+/// process, so a storm of N costs ~2N).  Raises the hard limit too when the
+/// process is privileged (the kernel allows up to fs/nr_open); otherwise
+/// settles for the hard cap.  Returns the usable soft limit.
+rlim_t raise_nofile(rlim_t need) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur >= need) return rl.rlim_cur;
+  rlimit want = rl;
+  want.rlim_cur = need;
+  want.rlim_max = std::max(rl.rlim_max, need);
+  if (::setrlimit(RLIMIT_NOFILE, &want) != 0) {
+    want.rlim_max = rl.rlim_max;
+    want.rlim_cur = std::min(need, rl.rlim_max);
+    ::setrlimit(RLIMIT_NOFILE, &want);
+  }
+  ::getrlimit(RLIMIT_NOFILE, &rl);
+  return rl.rlim_cur;
+}
+
+std::vector<std::string> warm_workload() {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 8; ++i) {
+    Json q = Json::object();
+    q["op"] = "estimate";
+    q["family"] = "Butterfly";
+    q["n"] = 64 + i;
+    lines.push_back(q.dump());
+  }
+  return lines;
+}
+
+struct PlaneResult {
+  std::size_t storm_target = 0;
+  std::size_t storm_open = 0;   ///< connections that answered a ping
+  double storm_s = 0.0;         ///< open+verify wall time
+  double hot_qps = 0.0;         ///< successfully answered requests / wall
+  std::uint64_t hot_ok = 0;
+  std::uint64_t hot_failures = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+PlaneResult run_plane(bool blocking_plane, std::size_t storm_conns,
+                      double hot_seconds, std::size_t hot_workers,
+                      std::size_t latency_conns,
+                      std::uint64_t latency_requests) {
+  PlaneResult result;
+  result.storm_target = storm_conns;
+
+  // A cheap echo compute: the bench measures the serving stack, not the
+  // planner; real query math would drown the I/O plane in compute noise.
+  QueryExecutor::Options exec_options;
+  exec_options.compute = [](const Query& q, const CancelToken&) {
+    Json doc = Json::object();
+    doc["n"] = q.n;
+    return doc;
+  };
+  QueryExecutor executor(std::move(exec_options));
+
+  Server::Options server_options;
+  server_options.port = 0;
+  server_options.blocking_plane = blocking_plane;
+  Server server(executor, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "connection_storm: " << error << "\n";
+    return result;
+  }
+
+  // Warm the cache so everything after is pure cache hits (served inline
+  // on the reactor by the epoll plane's fast path).
+  const std::vector<std::string> workload = warm_workload();
+  {
+    Client warm;
+    std::string response;
+    if (warm.connect(server.port())) {
+      for (const auto& line : workload) warm.request_raw(line, response);
+    }
+  }
+
+  // --- latency: closed-loop probes on the fresh, idle server.  Runs
+  // before the storm so the small-fleet percentiles measure the plane,
+  // not the wreckage the storm leaves behind (the blocking plane keeps
+  // dead connection-thread stacks mapped until stop()).  Best of two
+  // reps: a single percentile sample on a shared box gates on noise. ---
+  for (int rep = 0; rep < 2; ++rep) {
+    std::vector<std::thread> threads;
+    std::vector<std::vector<double>> latencies(latency_conns);
+    for (std::size_t c = 0; c < latency_conns; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        if (!client.connect(server.port())) return;
+        latencies[c].reserve(latency_requests);
+        std::string response;
+        for (std::uint64_t i = 0; i < latency_requests; ++i) {
+          const std::string& line = workload[(c + i) % workload.size()];
+          const auto t0 = Clock::now();
+          if (!client.request_raw(line, response)) return;
+          latencies[c].push_back(seconds_since(t0) * 1e6);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    std::vector<double> all;
+    for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    if (all.empty()) continue;
+    const double p99 = scope::exact_quantile(all, 0.99);
+    if (result.p99_us == 0.0 || p99 < result.p99_us) {
+      result.p50_us = scope::exact_quantile(all, 0.50);
+      result.p99_us = p99;
+    }
+  }
+
+  // --- storm: open and verify N connections, then hold them. ---
+  std::vector<RawConn> parked;
+  parked.reserve(storm_conns);
+  const auto storm_start = Clock::now();
+  const std::string ping = R"({"op":"ping"})";
+  for (std::size_t i = 0; i < storm_conns; ++i) {
+    RawConn conn;
+    if (!conn.connect_to(server.port(), static_cast<std::uint32_t>(i)))
+      continue;
+    std::string response;
+    // The ping proves the server actually serves this connection: the
+    // blocking plane accepts into its backlog and then refuses once it can
+    // no longer spawn the connection thread (at the kernel's default
+    // vm.max_map_count, around 32k threads).
+    if (!conn.roundtrip(ping, &response)) continue;
+    if (response.find("\"pong\":true") == std::string::npos) continue;
+    parked.push_back(std::move(conn));
+  }
+  result.storm_open = parked.size();
+  result.storm_s = seconds_since(storm_start);
+
+  // --- hot: churning cache-hit bursts while the storm stays parked. ---
+  {
+    // The active-traffic shape the repo's own clients produce: a fresh
+    // connection, one pipelined burst of requests, disconnect (netemu_query
+    // opens a connection per CLI invocation).  Under churn the planes'
+    // architectures diverge hardest — the blocking plane pays a thread
+    // spawn per arriving connection and leaks the dead thread's stack
+    // mappings afterwards (it joins only at stop()), so the parked storm
+    // plus sustained churn march it into the kernel map ceiling mid-box;
+    // the epoll plane pays an O(1) shard registration and reclaims the
+    // slot on close — all while the storm holds its fds open.
+    constexpr std::size_t kBurst = 4;
+    // A fixed wall-clock box, two reps, best kept: sustained goodput over
+    // a box is what a collapse shows up in, and a single timing on a
+    // shared machine is too noisy to gate a plane-vs-plane ratio on (same
+    // best-of discipline as micro_sim).
+    for (int rep = 0; rep < 2; ++rep) {
+      std::vector<std::thread> threads;
+      std::vector<std::uint64_t> failures(hot_workers, 0);
+      std::vector<std::uint64_t> answered(hot_workers, 0);
+      const auto hot_start = Clock::now();
+      const auto deadline =
+          hot_start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(hot_seconds));
+      const auto worker = [&](std::size_t w) {
+        std::string payload;
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          payload += workload[(w + i) % workload.size()];
+          payload += '\n';
+        }
+        std::string responses;
+        while (Clock::now() < deadline) {
+          RawConn conn;
+          if (conn.connect_to(server.port()) &&
+              conn.burst(payload, kBurst, &responses) &&
+              responses.find("\"ok\":false") == std::string::npos) {
+            answered[w] += kBurst;
+          } else {
+            failures[w] += kBurst;
+          }
+        }
+      };
+      for (std::size_t w = 0; w < hot_workers; ++w) {
+        // The blocking plane under test can exhaust the whole process's
+        // thread headroom (its dead connection threads keep their stacks
+        // mapped); the bench's own workers must survive that, so a failed
+        // spawn falls back to measuring from this thread alone.
+        try {
+          threads.emplace_back(worker, w);
+        } catch (const std::system_error&) {
+          break;
+        }
+      }
+      if (threads.empty()) worker(0);
+      for (auto& t : threads) t.join();
+      const double hot_s = seconds_since(hot_start);
+      std::uint64_t total_failed = 0, total_answered = 0;
+      for (std::size_t w = 0; w < hot_workers; ++w) {
+        total_failed += failures[w];
+        total_answered += answered[w];
+      }
+      result.hot_failures += total_failed;
+      result.hot_ok += total_answered;
+      // Only answered requests count, over the whole box: a plane refusing
+      // connections at its ceiling must not convert fast failures into
+      // apparent throughput.
+      const double qps = hot_s > 0.0
+                             ? static_cast<double>(total_answered) / hot_s
+                             : 0.0;
+      result.hot_qps = std::max(result.hot_qps, qps);
+    }
+  }
+
+  parked.clear();
+  server.stop();
+  return result;
+}
+
+Json plane_json(const PlaneResult& r) {
+  Json doc = Json::object();
+  doc["storm_target"] = static_cast<double>(r.storm_target);
+  doc["storm_open"] = static_cast<double>(r.storm_open);
+  doc["storm_s"] = r.storm_s;
+  doc["hot_qps"] = r.hot_qps;
+  doc["hot_ok"] = static_cast<double>(r.hot_ok);
+  doc["hot_failures"] = static_cast<double>(r.hot_failures);
+  doc["p50_us"] = r.p50_us;
+  doc["p99_us"] = r.p99_us;
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const std::string mode = cli.get("mode", "both");
+  const bool run_epoll = mode == "both" || mode == "epoll";
+  const bool run_blocking = mode == "both" || mode == "blocking";
+  if (!run_epoll && !run_blocking) {
+    std::cerr << "connection_storm: --mode must be epoll|blocking|both\n";
+    return 2;
+  }
+
+  // The full-mode default of 40000 sits deliberately above the blocking
+  // plane's structural ceiling (~32k threads at the default-kernel
+  // vm.max_map_count of 65530) and below the epoll plane's only real
+  // limit, file descriptors.
+  auto storm_conns = static_cast<std::size_t>(
+      cli.get_int("connections", smoke ? 256 : 40000));
+  const double hot_seconds = static_cast<double>(
+      cli.get_int("hot-seconds", smoke ? 1 : 5));
+  const auto hot_workers =
+      static_cast<std::size_t>(cli.get_int("workers", 8));
+  const std::size_t latency_conns = 64;
+  const auto latency_requests =
+      static_cast<std::uint64_t>(smoke ? 20 : 100);
+
+  // Two fds per storm connection (client + server side share the process).
+  const rlim_t limit =
+      raise_nofile(static_cast<rlim_t>(2 * storm_conns + 512));
+  if (limit < static_cast<rlim_t>(2 * storm_conns + 512)) {
+    const auto fit = static_cast<std::size_t>((limit - 512) / 2);
+    std::cerr << "connection_storm: RLIMIT_NOFILE " << limit << " caps the "
+              << "storm at " << fit << " connections (wanted " << storm_conns
+              << ")\n";
+    storm_conns = fit;
+  }
+
+  Json doc = Json::object();
+  doc["schema"] = "netemu-bench-service/1";
+  doc["smoke"] = smoke;
+  doc["connections"] = static_cast<double>(storm_conns);
+  doc["hot_seconds"] = hot_seconds;
+
+  PlaneResult epoll, blocking;
+  if (run_epoll) {
+    std::cerr << "connection_storm: epoll plane...\n";
+    epoll = run_plane(false, storm_conns, hot_seconds, hot_workers,
+                      latency_conns, latency_requests);
+    doc["epoll"] = plane_json(epoll);
+  }
+  if (run_blocking) {
+    std::cerr << "connection_storm: blocking plane...\n";
+    blocking = run_plane(true, storm_conns, hot_seconds, hot_workers,
+                         latency_conns, latency_requests);
+    doc["blocking"] = plane_json(blocking);
+  }
+
+  Table t({"plane", "storm open", "storm s", "hot qps", "fail", "p50 us",
+           "p99 us"});
+  const auto add_row = [&t](const char* name, const PlaneResult& r) {
+    t.add_row({name,
+               Table::integer(static_cast<std::int64_t>(r.storm_open)) + "/" +
+                   Table::integer(static_cast<std::int64_t>(r.storm_target)),
+               Table::num(r.storm_s, 2), Table::num(r.hot_qps, 0),
+               Table::integer(static_cast<std::int64_t>(r.hot_failures)),
+               Table::num(r.p50_us, 1), Table::num(r.p99_us, 1)});
+  };
+  if (run_epoll) add_row("epoll", epoll);
+  if (run_blocking) add_row("blocking", blocking);
+  t.print(std::cout);
+
+  const std::string out_path = cli.get("out", "BENCH_service.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "connection_storm: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << doc.dump() << "\n";
+  std::cerr << "connection_storm: wrote " << out_path << "\n";
+
+  bench::Verdict verdict;
+  if (run_epoll) {
+    verdict.check(epoll.storm_open == storm_conns,
+                  "epoll plane sustained every storm connection");
+    verdict.check(epoll.hot_failures == 0, "epoll hot phase fully ok");
+  }
+  if (!smoke && run_epoll && run_blocking) {
+    // The headline gates (docs/PERF.md): under a storm past the thread
+    // ceiling the epoll plane must clearly beat thread-per-connection
+    // without giving back small-fleet latency.  The blocking plane is
+    // allowed — expected — to refuse connections and fail bursts here;
+    // that collapse is the measurement.  Smoke mode records numbers but
+    // does not gate: CI smoke boxes are too noisy for ratio gates.
+    verdict.check(epoll.hot_qps >= 3.0 * blocking.hot_qps,
+                  "epoll hot qps >= 3x blocking under storm");
+    verdict.check(epoll.p99_us <= 1.10 * blocking.p99_us,
+                  "epoll p99 at 64 connections <= 1.10x blocking");
+  }
+  return verdict.exit_code();
+}

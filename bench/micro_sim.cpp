@@ -270,23 +270,44 @@ int run_baseline(const std::string& out_path, int reps, bool smoke,
   Json det_threads = Json::array();
   TrialRun reference;
   Json scaling = Json::object();
+  std::vector<double> best_wall(thread_counts.size(), 0.0);
+  // Timing discipline for a shared/CI box: run a few reps of every thread
+  // count, interleaved (so slowly-drifting background load penalizes all
+  // counts alike instead of whichever ran last), and keep each count's
+  // fastest wall — a single timing is too noisy to gate a speedup ratio on.
+  const int scale_reps = smoke ? 2 : 3;
+  for (int rep = 0; rep < scale_reps; ++rep) {
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      const std::size_t threads = thread_counts[i];
+      TrialRun run = run_estimate(det_machine, det_trials, threads);
+      if (rep == 0 || run.wall_s < best_wall[i]) best_wall[i] = run.wall_s;
+      if (rep > 0) continue;
+      det_threads.items().emplace_back(threads);
+      if (i == 0) {
+        reference = std::move(run);
+        continue;
+      }
+      if (run.rates != reference.rates || !(run.last == reference.last)) {
+        deterministic = false;
+        std::fprintf(
+            stderr, "DETERMINISM VIOLATION: %zu threads disagrees with %zu\n",
+            threads, thread_counts[0]);
+      }
+    }
+  }
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-    const std::size_t threads = thread_counts[i];
-    const TrialRun run = run_estimate(det_machine, det_trials, threads);
-    det_threads.items().emplace_back(threads);
     char key[32];
-    std::snprintf(key, sizeof(key), "wall_s_threads_%zu", threads);
-    scaling[key] = run.wall_s;
-    if (i == 0) {
-      reference = run;
-      continue;
-    }
-    if (run.rates != reference.rates || !(run.last == reference.last)) {
-      deterministic = false;
-      std::fprintf(stderr,
-                   "DETERMINISM VIOLATION: %zu threads disagrees with %zu\n",
-                   threads, thread_counts[0]);
-    }
+    std::snprintf(key, sizeof(key), "wall_s_threads_%zu", thread_counts[i]);
+    scaling[key] = best_wall[i];
+  }
+  // Parallel efficiency relative to the first (serial) thread count.  The
+  // CI bench-smoke job gates speedup_threads_8 >= 1.0: more worker threads
+  // must never make an estimate slower (on a 1-core box the pool degrades
+  // to the serial loop, so the ratio sits at ~1.0 there too).
+  for (std::size_t i = 1; i < thread_counts.size(); ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "speedup_threads_%zu", thread_counts[i]);
+    scaling[key] = best_wall[i] > 0.0 ? best_wall[0] / best_wall[i] : 0.0;
   }
   det["ok"] = deterministic;
   det["threads"] = std::move(det_threads);

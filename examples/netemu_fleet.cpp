@@ -107,6 +107,13 @@ int main(int argc, char** argv) {
 
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7470));
+  server_options.io_threads =
+      static_cast<std::size_t>(cli.get_int("io-threads", 0));
+  server_options.offload_threads =
+      static_cast<std::size_t>(cli.get_int("offload-threads", 0));
+  server_options.blocking_plane = cli.has("blocking-io");
+  // No fast_handler: every line proxies to a backend (blocking network
+  // I/O), so everything rides the offload pool.
   std::atomic<bool> drain_op{false};
   Server server(
       [&front_door, &drain_op](const std::string& line,

@@ -13,9 +13,20 @@
 // --local it executes the query in-process instead — no daemon needed —
 // against the same persistent cache file, so repeated local queries are
 // answered from disk in O(1).
+//
+// Load generation: --repeat N sends the same request N times; --concurrency
+// K spreads those over K workers with one connection each.  Instead of a
+// response line it prints a summary: qps, p50/p99 latency, error counts.
+//
+//   $ netemu_query ping --repeat 10000 --concurrency 8
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <thread>
+#include <vector>
 
+#include "netemu/scope/metrics.hpp"
 #include "netemu/scope/trace.hpp"
 #include "netemu/service/client.hpp"
 #include "netemu/service/protocol.hpp"
@@ -45,8 +56,112 @@ int usage(const std::string& program) {
          "  --local flags: --cache-file F (default netemu_cache.json)"
          "  --cache-capacity N\n"
          "  --attempts N   transport retries per request (default 3)\n"
+         "  --repeat N     load generation: send the request N times and"
+         " print a qps/latency summary\n"
+         "  --concurrency K  spread --repeat over K workers, one connection"
+         " each (default 1)\n"
          "  families accept a dimension suffix: mesh2, pyramid3, ...\n";
   return 2;
+}
+
+/// Load generation (--repeat / --concurrency): K workers, each with its own
+/// connection, split --repeat requests between them and hammer the daemon
+/// with the single-attempt raw path.  Prints a summary document (qps,
+/// p50/p99 latency) instead of a response line.  Exit 0 only when every
+/// request got an ok response.
+int run_load(const Cli& cli, const Json& request, std::uint16_t port) {
+  const long repeat = cli.get_int("repeat", 1);
+  const long concurrency = cli.get_int("concurrency", 1);
+  if (repeat < 1 || concurrency < 1) {
+    std::cerr << cli.program()
+              << ": --repeat and --concurrency must be >= 1\n";
+    return 2;
+  }
+  const auto total = static_cast<std::size_t>(repeat);
+  const auto workers =
+      std::min(static_cast<std::size_t>(concurrency), total);
+  const std::string request_line = request.dump();
+
+  struct WorkerResult {
+    std::vector<double> latencies_us;
+    std::size_t ok = 0;
+    std::size_t errors = 0;      ///< response arrived but ok:false
+    std::size_t transport = 0;   ///< connection failed mid-run
+  };
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Spread the remainder over the first (total % workers) workers.
+    const std::size_t share = total / workers + (w < total % workers ? 1 : 0);
+    threads.emplace_back([&, w, share] {
+      WorkerResult& r = results[w];
+      r.latencies_us.reserve(share);
+      Client client;
+      std::string error;
+      if (!client.connect(port, &error)) {
+        r.transport = share;
+        return;
+      }
+      std::string response_line;
+      for (std::size_t i = 0; i < share; ++i) {
+        const auto t0 = Clock::now();
+        if (!client.request_raw(request_line, response_line)) {
+          ++r.transport;
+          // One reconnect attempt; a daemon restart mid-run should not
+          // void the rest of this worker's share.
+          if (!client.connect(port, &error)) {
+            r.transport += share - i - 1;
+            return;
+          }
+          continue;
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - t0)
+                              .count();
+        r.latencies_us.push_back(us);
+        const Json response = Json::parse(response_line);
+        if (response.is_object() && response["ok"].as_bool()) {
+          ++r.ok;
+        } else {
+          ++r.errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  std::vector<double> latencies;
+  std::size_t ok = 0, errors = 0, transport = 0;
+  for (auto& r : results) {
+    ok += r.ok;
+    errors += r.errors;
+    transport += r.transport;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+
+  Json summary = Json::object();
+  summary["ok"] = (ok == total);
+  summary["requests"] = static_cast<double>(total);
+  summary["concurrency"] = static_cast<double>(workers);
+  summary["responses_ok"] = static_cast<double>(ok);
+  summary["responses_error"] = static_cast<double>(errors);
+  summary["transport_failures"] = static_cast<double>(transport);
+  summary["wall_s"] = wall_s;
+  summary["qps"] = wall_s > 0.0 ? static_cast<double>(ok + errors) / wall_s
+                                : 0.0;
+  if (!latencies.empty()) {
+    summary["p50_us"] = scope::exact_quantile(latencies, 0.50);
+    summary["p99_us"] = scope::exact_quantile(latencies, 0.99);
+  }
+  std::cout << summary.dump() << "\n";
+  return ok == total ? 0 : 1;
 }
 
 /// Copy a CLI flag into the request document verbatim (strings) or as a
@@ -97,6 +212,18 @@ int main(int argc, char** argv) {
     // backend) records spans under it.
     request["trace"] = hex64(scope::mint_trace_id());
     std::cerr << "trace id: " << request["trace"].as_string() << "\n";
+  }
+
+  if (cli.has("repeat") || cli.has("concurrency")) {
+    if (cli.has("local")) {
+      std::cerr << cli.program()
+                << ": --repeat/--concurrency need a daemon (they measure the "
+                   "service, not the library); drop --local\n";
+      return 2;
+    }
+    return run_load(
+        cli, request,
+        static_cast<std::uint16_t>(cli.get_int("port", 7464)));
   }
 
   std::string response_line;

@@ -6,6 +6,8 @@
 //   $ netemu_serve --port 0            # ephemeral port, printed on stdout
 //   $ netemu_serve --fault-plan 'seed=7,drop=0.02,torn=0.3'   # chaos mode
 //   $ netemu_serve --no-journal        # skip the crash-recovery WAL
+//   $ netemu_serve --io-threads 4      # reactor shards (0 = hw threads)
+//   $ netemu_serve --blocking-io       # legacy thread-per-connection plane
 //
 // Stop with SIGINT/SIGTERM or a client {"op":"drain"} / {"op":"shutdown"}.
 // Signals and the drain op run the graceful drain (docs/LIFECYCLE.md): stop
@@ -130,8 +132,18 @@ int main(int argc, char** argv) {
   Server::Options server_options;
   server_options.port = static_cast<std::uint16_t>(cli.get_int("port", 7464));
   server_options.faults = injector.get();
+  server_options.io_threads =
+      static_cast<std::size_t>(cli.get_int("io-threads", 0));
+  server_options.offload_threads =
+      static_cast<std::size_t>(cli.get_int("offload-threads", 0));
+  server_options.blocking_plane = cli.has("blocking-io");
   // Custom handler rather than the QueryExecutor convenience constructor so
-  // a client {"op":"drain"} reaches the drain sequence below.
+  // a client {"op":"drain"} reaches the drain sequence below.  That skips
+  // the constructor's automatic fast path, so install it explicitly: ping
+  // and cache hits answer inline on the reactor shard.
+  server_options.fast_handler = [&executor](const std::string& line) {
+    return try_handle_request_line_fast(line, executor);
+  };
   std::atomic<bool> drain_op{false};
   Server server(
       [&executor, &drain_op](const std::string& line,

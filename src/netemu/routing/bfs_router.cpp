@@ -91,13 +91,23 @@ std::shared_ptr<const BfsRouter::Field> BfsRouter::distance_field(Vertex dst) {
 }
 
 std::vector<Vertex> BfsRouter::route(Vertex src, Vertex dst, Prng& rng) {
-  if (src == dst) return {src};
+  std::vector<Vertex> path;
+  route_append(src, dst, rng, path);
+  return path;
+}
+
+void BfsRouter::route_append(Vertex src, Vertex dst, Prng& rng,
+                             std::vector<Vertex>& path) {
+  path.clear();
+  if (src == dst) {
+    path.push_back(src);
+    return;
+  }
   const std::shared_ptr<const Field> field = distance_field(dst);
   const Field& dist = *field;
   if (dist[src] == kFar) {
     throw std::runtime_error("BfsRouter: destination unreachable");
   }
-  std::vector<Vertex> path;
   path.reserve(dist[src] + 1u);
   path.push_back(src);
   Vertex cur = src;
@@ -121,7 +131,6 @@ std::vector<Vertex> BfsRouter::route(Vertex src, Vertex dst, Prng& rng) {
     path.push_back(next);
     cur = next;
   }
-  return path;
 }
 
 }  // namespace netemu

@@ -35,6 +35,8 @@ class BfsRouter final : public Router {
                      std::size_t cache_budget_bytes = 256u << 20);
 
   std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) override;
+  void route_append(Vertex src, Vertex dst, Prng& rng,
+                    std::vector<Vertex>& out) override;
   const char* name() const override { return spread_ ? "bfs-random" : "bfs"; }
 
   /// Token polled every kCancelCheckTicks vertex pops inside the

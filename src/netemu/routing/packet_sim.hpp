@@ -70,6 +70,15 @@ class PacketSimulator {
     std::uint64_t total_hops() const { return seq_.size(); }
     std::uint64_t static_congestion() const { return static_congestion_; }
 
+    /// Pre-size for `messages` more appends totalling ~`total_hops` hops
+    /// (a hint; appends beyond it just grow normally).  Batch-building is
+    /// the allocation-heaviest part of a throughput trial, so callers that
+    /// know the message count reserve up front instead of doubling.
+    void reserve(std::size_t messages, std::size_t total_hops) {
+      seq_off_.reserve(seq_off_.size() + messages);
+      seq_.reserve(seq_.size() + total_hops);
+    }
+
    private:
     friend class PacketSimulator;
     std::vector<std::uint32_t> seq_;           // concatenated channel ids

@@ -23,6 +23,17 @@ class Router {
   /// congestion-spreading tie-breaks.
   virtual std::vector<Vertex> route(Vertex src, Vertex dst, Prng& rng) = 0;
 
+  /// Buffer-reuse variant for hot loops (measure_throughput routes tens of
+  /// thousands of messages per trial): fill `out` with the walk instead of
+  /// allocating a fresh vector per message.  Must produce exactly the path
+  /// route() would — same vertices, same rng draws — so the two are
+  /// interchangeable without perturbing seeded results.  The default
+  /// delegates to route(); routers on the hot path override it.
+  virtual void route_append(Vertex src, Vertex dst, Prng& rng,
+                            std::vector<Vertex>& out) {
+    out = route(src, dst, rng);
+  }
+
   virtual const char* name() const = 0;
 
   /// Attach a cooperative cancellation token checked by expensive route

@@ -16,9 +16,21 @@ void route_into(PacketSimulator::PreparedBatch& batch,
                 const PacketSimulator& sim, Router& router,
                 const TrafficDistribution& traffic, std::size_t extra,
                 Prng& rng, const CancelToken& cancel) {
+  // Pre-size from the running average path length (or a small guess on an
+  // empty batch) and reuse one path buffer across messages: tens of
+  // thousands of per-message vector allocations per trial otherwise
+  // dominate the non-simulating half of the trial.
+  const std::size_t hops_hint =
+      batch.size() > 0
+          ? static_cast<std::size_t>(batch.total_hops() / batch.size() + 1) *
+                extra
+          : 8 * extra;
+  batch.reserve(extra, hops_hint);
+  std::vector<Vertex> path;
   for (const Message& msg : traffic.batch(extra, rng)) {
     cancel.check();
-    sim.append(batch, router.route(msg.src, msg.dst, rng));
+    router.route_append(msg.src, msg.dst, rng, path);
+    sim.append(batch, path);
   }
 }
 

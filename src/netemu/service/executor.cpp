@@ -172,6 +172,41 @@ void QueryExecutor::watchdog_loop() {
   }
 }
 
+std::optional<Response> QueryExecutor::try_cached(const Query& q) {
+  if (q.refresh) return std::nullopt;
+  const auto start = Clock::now();
+  const std::uint64_t key = q.cache_key();
+  const std::uint64_t tid = q.trace_id;
+  // Probe before committing to any accounting: a miss must leave every
+  // counter untouched so the fallback execute() stays the single
+  // authoritative accounting path (get_if_hit leaves misses uncounted for
+  // the same reason).
+  auto cached = cache_.get_if_hit(key);
+  if (!cached) return std::nullopt;
+
+  scope::SpanTimer exec_span(tid, "executor.execute");
+  requests_counter().inc();
+  {
+    scope::SpanTimer probe(tid, "cache.probe");
+    probe.set_note("hit");
+  }
+  cache_hits_counter().inc();
+  Response response;
+  response.key = key;
+  response.trace_id = tid;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    ++stats_.cache_hits;
+  }
+  response.ok = true;
+  response.cache_hit = true;
+  response.result = std::move(*cached);
+  response.micros = micros_since(start);
+  execute_us_hist().observe(response.micros);
+  return response;
+}
+
 Response QueryExecutor::execute(const Query& q) {
   const auto start = Clock::now();
   const std::uint64_t key = q.cache_key();

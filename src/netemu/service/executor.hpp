@@ -114,6 +114,14 @@ class QueryExecutor {
   /// the watchdog cancels the flight, or the request is shed.
   Response execute(const Query& q);
 
+  /// Non-blocking fast path: answer `q` only if it is a plain cache hit
+  /// (never for refresh=true).  A hit is accounted exactly as execute()
+  /// would account it (request + cache-hit counters, spans, latency
+  /// histogram); a miss touches no counters and returns nullopt — the
+  /// caller then routes the query through execute() on a thread that may
+  /// block.  Safe to call concurrently from event-loop shards.
+  std::optional<Response> try_cached(const Query& q);
+
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t cache_hits = 0;

@@ -197,6 +197,43 @@ std::string response_to_line(const Response& r) {
   return line;
 }
 
+namespace {
+
+std::string ping_line() {
+  Json doc = Json::object();
+  doc["ok"] = true;
+  Json result = Json::object();
+  result["pong"] = true;
+  doc["result"] = std::move(result);
+  return doc.dump();
+}
+
+}  // namespace
+
+std::optional<std::string> try_handle_request_line_fast(
+    const std::string& line, QueryExecutor& exec) {
+  std::string error;
+  const Json request = Json::parse(line, &error);
+  if (!error.empty()) return error_line("bad JSON: " + error);
+  if (!request.is_object()) return error_line("request must be an object");
+
+  const std::string& op = request["op"].as_string();
+  if (op == "ping") return ping_line();
+  if (op == "stats" || op == "health" || op == "trace" || op == "events" ||
+      op == "cancel" || op == "drain" || op == "shutdown") {
+    // Cheap but side-effecting or lock-taking: keep the reactor pure and
+    // let the offload path run them via handle_request_line.
+    return std::nullopt;
+  }
+
+  const auto query = query_from_json(request, &error);
+  if (!query) return error_line(error);  // deterministic, non-blocking
+  if (auto cached = exec.try_cached(*query)) {
+    return response_to_line(*cached);
+  }
+  return std::nullopt;
+}
+
 std::string handle_request_line(const std::string& line, QueryExecutor& exec,
                                 bool* shutdown_requested,
                                 bool* drain_requested) {
@@ -206,14 +243,7 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
   if (!request.is_object()) return error_line("request must be an object");
 
   const std::string& op = request["op"].as_string();
-  if (op == "ping") {
-    Json doc = Json::object();
-    doc["ok"] = true;
-    Json result = Json::object();
-    result["pong"] = true;
-    doc["result"] = std::move(result);
-    return doc.dump();
-  }
+  if (op == "ping") return ping_line();
   if (op == "stats") return stats_line(exec, request);
   if (op == "health") return health_line(exec);
   if (op == "trace") return trace_line(request);

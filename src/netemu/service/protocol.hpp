@@ -37,6 +37,7 @@
 // connection stays usable (the overlong line is discarded).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "netemu/service/executor.hpp"
@@ -44,6 +45,16 @@
 namespace netemu {
 
 class FaultInjector;
+
+/// Reactor-inline fast path: answer `line` only when it can be served
+/// without ever blocking — ping, malformed requests, and plain cache hits
+/// (via QueryExecutor::try_cached).  Everything else — control ops with
+/// side effects, cache misses, refresh queries — returns nullopt so the
+/// caller offloads the line to handle_request_line on a thread that may
+/// block.  For lines this function does answer, the response is
+/// byte-compatible with handle_request_line's.
+std::optional<std::string> try_handle_request_line_fast(
+    const std::string& line, QueryExecutor& exec);
 
 /// Handle one request line (without trailing newline) against an executor.
 /// Returns the response line (without trailing newline).  If the request is

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <unordered_map>
 
 #include "netemu/scope/trace.hpp"
 #include "netemu/util/hash.hpp"
@@ -112,16 +113,20 @@ std::optional<FamilySpec> parse_family(const std::string& name) {
     k = static_cast<unsigned>(std::stoul(base.substr(base.size() - digits)));
     base = base.substr(0, base.size() - digits);
   }
-  const std::string want = lower(base);
-  for (Family f : all_families()) {
-    if (lower(family_name(f)) == want) {
-      // A dimension suffix only makes sense for dimensional families
-      // ("mesh2"); reject "ccc3" rather than silently dropping the 3.
-      if (k && !family_is_dimensional(f)) return std::nullopt;
-      return FamilySpec{f, k};
-    }
-  }
-  return std::nullopt;
+  // Static lowercase-name index: parse_family sits on the daemon's
+  // per-request path, where re-lowercasing the whole registry per call was
+  // a measurable slice of the cache-hit budget.
+  static const auto* const by_name = [] {
+    auto* m = new std::unordered_map<std::string, Family>();
+    for (Family f : all_families()) (*m)[lower(family_name(f))] = f;
+    return m;
+  }();
+  const auto it = by_name->find(lower(base));
+  if (it == by_name->end()) return std::nullopt;
+  // A dimension suffix only makes sense for dimensional families
+  // ("mesh2"); reject "ccc3" rather than silently dropping the 3.
+  if (k && !family_is_dimensional(it->second)) return std::nullopt;
+  return FamilySpec{it->second, k};
 }
 
 std::string Query::canonical_string() const {

@@ -85,6 +85,15 @@ std::optional<std::string> ResultCache::get(std::uint64_t key) {
   return it->second->value;
 }
 
+std::optional<std::string> ResultCache::get_if_hit(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;  // uncounted; see header
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
 void ResultCache::put(std::uint64_t key, std::string value) {
   std::lock_guard lock(mutex_);
   if (journal_) wal_append_locked(key, value);

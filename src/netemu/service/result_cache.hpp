@@ -54,6 +54,13 @@ class ResultCache {
   /// Lookup; refreshes LRU recency on hit.
   std::optional<std::string> get(std::uint64_t key);
 
+  /// Speculative lookup for a fast path that falls back to the full request
+  /// pipeline on a miss: a hit behaves exactly like get() (recency refresh,
+  /// hit counter), a miss is NOT counted — the fallback path re-probes with
+  /// get() and owns the authoritative miss accounting, so the counters stay
+  /// one-increment-per-request.
+  std::optional<std::string> get_if_hit(std::uint64_t key);
+
   /// Insert or overwrite; evicts the least-recently-used entry when full.
   /// With journaling on, also appends the entry to the WAL (fsync'd).
   void put(std::uint64_t key, std::string value);

@@ -5,19 +5,36 @@
 // LineHandler — the classic one wraps a QueryExecutor (handle_request_line),
 // the fleet front door wraps a FleetRouter that proxies to real backends.
 //
-// Threading model: one accept thread plus one thread per live connection.
-// The handler underneath bounds actual concurrency (the executor's pool and
-// admission queue, or the router's backends), so connection threads are
-// cheap — they mostly block on socket reads or on a flight.  stop() (or a
-// client's shutdown op followed by wait()) closes the listener, shuts down
-// every live connection socket, and joins all threads; it is safe to call
-// from any thread except a connection handler.
+// Two I/O planes share that contract (docs/SERVICE.md "I/O plane"):
+//
+//  * The default sharded epoll event loop: one acceptor distributes
+//    non-blocking connections round-robin across `io_threads` reactor
+//    shards; each shard owns its fds with edge-triggered epoll, frames
+//    request lines incrementally from per-connection buffers, serves
+//    `fast_handler` answers (ping, cache hits) inline on the reactor, and
+//    offloads everything else to a bounded handler pool whose completions
+//    are posted back to the owning shard through an eventfd.  Responses are
+//    coalesced into a per-connection output buffer bounded by
+//    `max_output_bytes` — a consumer that falls further behind than that is
+//    disconnected instead of growing the heap.  Thousands of mostly-idle
+//    connections cost two buffers each, not a kernel thread each.
+//
+//  * The legacy blocking plane (`blocking_plane = true`): one thread per
+//    connection.  Kept as the A/B baseline for bench/connection_storm and
+//    as a fallback.
+//
+// Lifecycle is identical on both planes: start() binds and spawns,
+// begin_drain() closes only the listener (live connections still get their
+// responses), stop() shuts everything down and joins, and a handler that
+// sets *shutdown_requested stops the server after its response flushes.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +45,25 @@ namespace netemu {
 
 class FaultInjector;
 
+namespace detail {
+
+/// One I/O plane implementation behind a Server.  Internal; the Server owns
+/// the lifecycle state (stop flag, wait()) and delegates the sockets.
+class ServerPlane {
+ public:
+  virtual ~ServerPlane() = default;
+  /// Bind + listen + spawn threads.  On failure: false, *error set (when
+  /// non-null), *errno_out = failing syscall's errno.
+  virtual bool start(std::string* error, int* errno_out) = 0;
+  virtual std::uint16_t port() const = 0;
+  /// Close the listener only; live connections keep serving.  Idempotent.
+  virtual void begin_drain() = 0;
+  /// Full stop: close everything, join every thread.  Idempotent.
+  virtual void stop() = 0;
+};
+
+}  // namespace detail
+
 class Server {
  public:
   /// Answer one request line (no trailing newline) with one response line;
@@ -36,13 +72,36 @@ class Server {
       std::function<std::string(const std::string& line,
                                 bool* shutdown_requested)>;
 
+  /// Optional non-blocking fast path run inline on a reactor shard: return
+  /// the response line to answer immediately, nullopt to fall through to
+  /// the LineHandler on the offload pool.  MUST NOT block (no locks held
+  /// across compute, no I/O) — a stalled shard stalls every connection it
+  /// owns.  Ignored by the blocking plane (the LineHandler thread is
+  /// already allowed to block there).
+  using FastHandler =
+      std::function<std::optional<std::string>(const std::string& line)>;
+
   struct Options {
     std::uint16_t port = 7464;  ///< 0 = ephemeral (see port() after start)
-    int backlog = 64;
+    int backlog = 256;
     std::size_t max_line = 1 << 20;  ///< request line cap (protocol_error)
     /// Fault injector applied to every connection's socket I/O (chaos
     /// testing).  Not owned; must outlive the server.  nullptr disables.
     FaultInjector* faults = nullptr;
+    /// Reactor shards for the epoll plane; 0 = hardware threads.
+    std::size_t io_threads = 0;
+    /// Threads running the LineHandler for requests the fast path did not
+    /// answer; 0 = max(4, hardware threads).  The handler underneath
+    /// (executor admission queue, fleet backends) bounds real concurrency.
+    std::size_t offload_threads = 0;
+    /// Per-connection pending-output cap; a consumer further behind than
+    /// this is disconnected (backpressure) instead of buffering unboundedly.
+    std::size_t max_output_bytes = 8u << 20;
+    /// Reactor-inline fast path (see FastHandler).
+    FastHandler fast_handler;
+    /// Use the legacy thread-per-connection plane instead of the epoll
+    /// event loop (A/B baseline; bench/connection_storm measures both).
+    bool blocking_plane = false;
   };
 
   explicit Server(QueryExecutor& executor);  // all-default Options
@@ -54,7 +113,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and spawn the accept thread.  False + *error on failure;
+  /// Bind, listen, and spawn the I/O plane.  False + *error on failure;
   /// last_errno() then holds the failing syscall's errno so callers can
   /// print actionable messages (EADDRINUSE: port taken).
   bool start(std::string* error = nullptr);
@@ -81,14 +140,11 @@ class Server {
   bool running() const;
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
   void request_stop();
 
   LineHandler handler_;
   Options options_;
-  // Atomic: the accept thread reads it while stop() closes and resets it.
-  std::atomic<int> listen_fd_{-1};
+  std::unique_ptr<detail::ServerPlane> plane_;
   std::uint16_t port_ = 0;
   int last_errno_ = 0;
 
@@ -96,9 +152,27 @@ class Server {
   std::condition_variable stop_cv_;
   bool stop_requested_ = false;
   bool stopped_ = true;
-  std::thread accept_thread_;
-  std::vector<std::thread> connections_;
-  std::vector<int> open_fds_;
 };
+
+namespace detail {
+
+/// The sharded epoll event loop (event_loop.cpp).  `on_shutdown_request`
+/// is invoked (once) when a handler asked the server to stop.
+std::unique_ptr<ServerPlane> make_epoll_plane(
+    Server::LineHandler handler, Server::Options options,
+    std::function<void()> on_shutdown_request);
+
+/// The legacy thread-per-connection plane (server.cpp).
+std::unique_ptr<ServerPlane> make_blocking_plane(
+    Server::LineHandler handler, Server::Options options,
+    std::function<void()> on_shutdown_request);
+
+/// Shared by both planes: bind + listen on 127.0.0.1:options.port, resolve
+/// the actual port into *port.  Returns the listening fd, or -1 with
+/// *error / *errno_out describing the failing syscall.
+int listen_loopback(const Server::Options& options, std::uint16_t* port,
+                    std::string* error, int* errno_out);
+
+}  // namespace detail
 
 }  // namespace netemu

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -749,6 +754,255 @@ TEST(Server, ManyConcurrentConnections) {
   // Only 4 distinct content addresses exist; everything else was served
   // from cache or joined a flight.
   EXPECT_EQ(s.computed, 4u);
+}
+
+// ----------------------------------------------- adversarial framing --
+// The epoll plane frames request lines incrementally from whatever byte
+// boundaries the kernel delivers; these tests drive the framer with raw
+// sockets at its worst-case boundaries.
+
+/// Raw loopback TCP connection (no LineChannel: the tests control the exact
+/// bytes and boundaries on the wire).
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool send_all(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Stop sending but keep reading (half-close).
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Read up to the next '\n'; empty string on EOF/error before one.
+  std::string read_line() {
+    std::string line;
+    for (;;) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::string();
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the peer has closed (a clean EOF with no pending bytes).
+  bool read_eof() {
+    char chunk[64];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    return n == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// A server over an executor whose compute echoes n (cheap + verifiable).
+struct EchoServer {
+  explicit EchoServer(Server::Options options = {}) {
+    QueryExecutor::Options exec_options;
+    exec_options.compute = [](const Query& q, const CancelToken&) {
+      Json doc = Json::object();
+      doc["n"] = q.n;
+      return doc;
+    };
+    executor = std::make_unique<QueryExecutor>(std::move(exec_options));
+    options.port = 0;
+    server = std::make_unique<Server>(*executor, options);
+    std::string error;
+    started = server->start(&error);
+  }
+  std::unique_ptr<QueryExecutor> executor;
+  std::unique_ptr<Server> server;
+  bool started = false;
+};
+
+TEST(ServerFraming, SlowlorisByteAtATime) {
+  EchoServer s;
+  ASSERT_TRUE(s.started);
+  RawConn conn(s.server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // One byte per segment: the framer must accumulate across reads and only
+  // answer at the newline.  Two requests back to back prove the connection
+  // state survives the first.
+  const std::string request =
+      R"({"op":"estimate","family":"Butterfly","n":64})" "\n";
+  for (int round = 0; round < 2; ++round) {
+    for (const char c : request) {
+      ASSERT_TRUE(conn.send_all(std::string(1, c)));
+    }
+    const Json response = Json::parse(conn.read_line());
+    EXPECT_TRUE(response["ok"].as_bool());
+    EXPECT_EQ(response["result"]["n"].as_int(), 64);
+  }
+}
+
+TEST(ServerFraming, PipelinedRequestsInOneSegment) {
+  EchoServer s;
+  ASSERT_TRUE(s.started);
+  RawConn conn(s.server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // Many requests in ONE send: the framer must split them and answer each
+  // in request order even though some hit cache (inline fast path) and some
+  // compute (offload pool) — the ordering guarantee is what's under test.
+  constexpr int kRequests = 32;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    Json query = Json::object();
+    query["op"] = "estimate";
+    query["family"] = "Butterfly";
+    query["n"] = 64 << (i % 3);  // 3 addresses: repeats become cache hits
+    burst += query.dump();
+    burst += '\n';
+  }
+  ASSERT_TRUE(conn.send_all(burst));
+  for (int i = 0; i < kRequests; ++i) {
+    const Json response = Json::parse(conn.read_line());
+    ASSERT_TRUE(response["ok"].as_bool()) << "response " << i;
+    EXPECT_EQ(response["result"]["n"].as_int(), 64 << (i % 3))
+        << "response " << i << " out of order";
+  }
+}
+
+TEST(ServerFraming, OverlongLineAnswersProtocolErrorAndResyncs) {
+  Server::Options options;
+  options.max_line = 128;
+  EchoServer s(options);
+  ASSERT_TRUE(s.started);
+  RawConn conn(s.server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // An overlong line — delivered in several segments so the framer enters
+  // and leaves discard mode — answers protocol_error; the next request on
+  // the same connection still works (the stream re-synced at the newline).
+  const std::string junk(512, 'x');
+  ASSERT_TRUE(conn.send_all(junk));
+  ASSERT_TRUE(conn.send_all(junk));
+  ASSERT_TRUE(conn.send_all("\n"));
+  const Json error_response = Json::parse(conn.read_line());
+  EXPECT_FALSE(error_response["ok"].as_bool());
+  EXPECT_NE(error_response["error"].as_string().find("exceeds"),
+            std::string::npos);
+
+  ASSERT_TRUE(conn.send_all("{\"op\":\"ping\"}\n"));
+  const Json pong = Json::parse(conn.read_line());
+  EXPECT_TRUE(pong["ok"].as_bool());
+  EXPECT_TRUE(pong["result"]["pong"].as_bool());
+}
+
+TEST(ServerFraming, HalfCloseAfterCompleteRequestStillAnswered) {
+  EchoServer s;
+  ASSERT_TRUE(s.started);
+  RawConn conn(s.server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // shutdown(SHUT_WR) right behind a complete request: the server sees EOF
+  // with a framed request still queued — it must answer it, flush, and only
+  // then close.
+  ASSERT_TRUE(conn.send_all(
+      R"({"op":"estimate","family":"Butterfly","n":128})" "\n"));
+  conn.shutdown_write();
+  const Json response = Json::parse(conn.read_line());
+  EXPECT_TRUE(response["ok"].as_bool());
+  EXPECT_EQ(response["result"]["n"].as_int(), 128);
+  EXPECT_TRUE(conn.read_eof());
+}
+
+TEST(ServerFraming, HalfCloseMidRequestGetsNoAnswer) {
+  EchoServer s;
+  ASSERT_TRUE(s.started);
+  RawConn conn(s.server->port());
+  ASSERT_TRUE(conn.ok());
+
+  // A torn request (no newline) then EOF: same semantics as the blocking
+  // plane's LineChannel — the tail is dropped, no response, clean close.
+  ASSERT_TRUE(conn.send_all(R"({"op":"estimate","family":"Butter)"));
+  conn.shutdown_write();
+  EXPECT_TRUE(conn.read_eof());
+}
+
+// ---------------------------------------------------- connection churn --
+
+/// Parse a numeric field ("Threads:", "VmRSS:") out of /proc/self/status.
+long proc_status_value(const std::string& field) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) == 0) {
+      return std::strtol(line.c_str() + field.size(), nullptr, 10);
+    }
+  }
+  return -1;
+}
+
+TEST(ServerChurn, SequentialConnectionsStayBounded) {
+  EchoServer s;
+  ASSERT_TRUE(s.started);
+
+  // Warm up: let every lazily-spawned thread (shards, offload pool) exist
+  // before the baseline measurement.
+  {
+    RawConn warm(s.server->port());
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm.send_all("{\"op\":\"ping\"}\n"));
+    EXPECT_FALSE(warm.read_line().empty());
+  }
+  const long threads_before = proc_status_value("Threads:");
+  const long rss_before_kb = proc_status_value("VmRSS:");
+  ASSERT_GT(threads_before, 0);
+
+  // Thousands of open/request/close cycles: connections must not leak
+  // threads (the epoll plane never spawns per connection) or memory
+  // (per-connection state is freed on close).
+  constexpr int kChurn = 2000;
+  for (int i = 0; i < kChurn; ++i) {
+    RawConn conn(s.server->port());
+    ASSERT_TRUE(conn.ok()) << "connect " << i << " failed";
+    if (i % 16 == 0) {  // a request on some keeps the framer in the loop
+      ASSERT_TRUE(conn.send_all("{\"op\":\"ping\"}\n"));
+      EXPECT_FALSE(conn.read_line().empty());
+    }
+  }
+
+  const long threads_after = proc_status_value("Threads:");
+  const long rss_after_kb = proc_status_value("VmRSS:");
+  EXPECT_EQ(threads_after, threads_before)
+      << "connection churn changed the thread count";
+  // Generous bound (sanitizer builds have noisy RSS): churn must not
+  // accumulate per-connection state.
+  EXPECT_LT(rss_after_kb - rss_before_kb, 128 * 1024)
+      << "RSS grew by " << (rss_after_kb - rss_before_kb) << " kB over "
+      << kChurn << " connections";
 }
 
 }  // namespace
