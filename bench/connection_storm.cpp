@@ -422,20 +422,31 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(smoke ? 20 : 100);
 
   // Two fds per storm connection (client + server side share the process).
+  const std::size_t requested_conns = storm_conns;
   const rlim_t limit =
       raise_nofile(static_cast<rlim_t>(2 * storm_conns + 512));
+  bool fd_capped = false;
   if (limit < static_cast<rlim_t>(2 * storm_conns + 512)) {
     const auto fit = static_cast<std::size_t>((limit - 512) / 2);
     std::cerr << "connection_storm: RLIMIT_NOFILE " << limit << " caps the "
               << "storm at " << fit << " connections (wanted " << storm_conns
               << ")\n";
     storm_conns = fit;
+    fd_capped = true;
   }
 
   Json doc = Json::object();
   doc["schema"] = "netemu-bench-service/1";
   doc["smoke"] = smoke;
   doc["connections"] = static_cast<double>(storm_conns);
+  // Honest scaling report: when the fd limit shrank the storm, say so in
+  // the result document — a reader comparing runs must not mistake a capped
+  // 12k-connection storm for the requested 40k one.
+  doc["fd_capped"] = fd_capped;
+  if (fd_capped) {
+    doc["connections_requested"] = static_cast<double>(requested_conns);
+    doc["rlimit_nofile"] = static_cast<double>(limit);
+  }
   doc["hot_seconds"] = hot_seconds;
 
   PlaneResult epoll, blocking;

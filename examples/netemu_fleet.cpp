@@ -96,6 +96,9 @@ int main(int argc, char** argv) {
   options.hedge_fixed_ms =
       static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
   options.hedge_percentile = cli.get_double("hedge-percentile", 0.95);
+  // Backends whose probed guard pressure is at/above this sink to the back
+  // of the rendezvous order (still tried last); 0 disables.
+  options.pressure_sink_threshold = cli.get_double("pressure-sink", 0.9);
 
   // A crashing front door leaves its last breaker/hedge events on stderr.
   scope::install_crash_handler();
@@ -116,14 +119,16 @@ int main(int argc, char** argv) {
   // I/O), so everything rides the offload pool.
   std::atomic<bool> drain_op{false};
   Server server(
-      [&front_door, &drain_op](const std::string& line,
-                               bool* shutdown_requested) {
-        bool drain = false;
-        std::string response =
-            front_door.handle_line(line, shutdown_requested, &drain);
-        if (drain) drain_op.store(true);
-        return response;
-      },
+      Server::TaggedLineHandler(
+          [&front_door, &drain_op](const std::string& line,
+                                   const std::string& peer,
+                                   bool* shutdown_requested) {
+            bool drain = false;
+            std::string response = front_door.handle_line(
+                line, shutdown_requested, &drain, peer);
+            if (drain) drain_op.store(true);
+            return response;
+          }),
       server_options);
 
   if (!server.start(&error)) {

@@ -51,6 +51,8 @@ int usage(const std::string& program) {
          "  --trials T  --deadline-ms D\n"
          "  --trace        mint a scope trace id and send it with the query"
          " (id echoed on the response)\n"
+         "  --client NAME  client identity for guard fairness (default:"
+         " the server tags the connection)\n"
          "  trace op: --id <hex64>  retrieve the span set of a traced"
          " query\n"
          "  --local flags: --cache-file F (default netemu_cache.json)"
@@ -87,6 +89,9 @@ int run_load(const Cli& cli, const Json& request, std::uint16_t port) {
     std::size_t ok = 0;
     std::size_t errors = 0;      ///< response arrived but ok:false
     std::size_t transport = 0;   ///< connection failed mid-run
+    std::size_t shed = 0;        ///< ... of errors: overload sheds
+    std::size_t degraded = 0;    ///< ok responses marked degraded (brownout)
+    std::size_t retry_honored = 0;  ///< sheds whose retry hint we slept out
   };
   std::vector<WorkerResult> results(workers);
   std::vector<std::thread> threads;
@@ -126,8 +131,20 @@ int run_load(const Cli& cli, const Json& request, std::uint16_t port) {
         const Json response = Json::parse(response_line);
         if (response.is_object() && response["ok"].as_bool()) {
           ++r.ok;
+          if (response["degraded"].as_bool()) ++r.degraded;
         } else {
           ++r.errors;
+          if (response.is_object() && response["overloaded"].as_bool()) {
+            ++r.shed;
+            // Be a well-behaved client: sleep out the server's backoff
+            // hint (capped — a load tool should not stall for seconds).
+            const auto hint = response["retry_after_ms"].as_uint();
+            if (hint > 0) {
+              ++r.retry_honored;
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  std::min<std::uint64_t>(hint, 1000)));
+            }
+          }
         }
       }
     });
@@ -138,10 +155,14 @@ int run_load(const Cli& cli, const Json& request, std::uint16_t port) {
 
   std::vector<double> latencies;
   std::size_t ok = 0, errors = 0, transport = 0;
+  std::size_t shed = 0, degraded = 0, retry_honored = 0;
   for (auto& r : results) {
     ok += r.ok;
     errors += r.errors;
     transport += r.transport;
+    shed += r.shed;
+    degraded += r.degraded;
+    retry_honored += r.retry_honored;
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
   }
@@ -152,6 +173,9 @@ int run_load(const Cli& cli, const Json& request, std::uint16_t port) {
   summary["concurrency"] = static_cast<double>(workers);
   summary["responses_ok"] = static_cast<double>(ok);
   summary["responses_error"] = static_cast<double>(errors);
+  summary["responses_shed"] = static_cast<double>(shed);
+  summary["responses_degraded"] = static_cast<double>(degraded);
+  summary["retry_after_honored"] = static_cast<double>(retry_honored);
   summary["transport_failures"] = static_cast<double>(transport);
   summary["wall_s"] = wall_s;
   summary["qps"] = wall_s > 0.0 ? static_cast<double>(ok + errors) / wall_s
@@ -206,6 +230,7 @@ int main(int argc, char** argv) {
   copy_flag(cli, "seed", "seed", true, request);
   copy_flag(cli, "trials", "trials", true, request);
   copy_flag(cli, "deadline-ms", "deadline_ms", true, request);
+  copy_flag(cli, "client", "client", false, request);
   copy_flag(cli, "id", "id", false, request);  // trace retrieval op
   if (cli.has("trace")) {
     // Client-minted trace id: the edge owns the id, every layer (fleet,

@@ -8,6 +8,7 @@
 //   $ netemu_serve --no-journal        # skip the crash-recovery WAL
 //   $ netemu_serve --io-threads 4      # reactor shards (0 = hw threads)
 //   $ netemu_serve --blocking-io       # legacy thread-per-connection plane
+//   $ netemu_serve --guard             # overload guard (docs/GUARD.md)
 //
 // Stop with SIGINT/SIGTERM or a client {"op":"drain"} / {"op":"shutdown"}.
 // Signals and the drain op run the graceful drain (docs/LIFECYCLE.md): stop
@@ -92,6 +93,21 @@ int main(int argc, char** argv) {
   exec_options.retry_after_hint_ms =
       static_cast<std::uint64_t>(cli.get_int("retry-after-ms", 50));
 
+  // Overload guard (docs/GUARD.md): cost-model admission, per-client fair
+  // share + rate limits, AIMD concurrency adaptation, brownout degradation.
+  // Off by default — the guard changes shed behaviour under pressure, so
+  // opting in is explicit.
+  exec_options.guard.enabled = cli.has("guard");
+  exec_options.guard.cost_budget =
+      static_cast<std::uint64_t>(cli.get_int("guard-budget", 0));
+  exec_options.guard.rate_units_per_s =
+      static_cast<double>(cli.get_int("guard-rate", 0));
+  exec_options.guard.target_p95_ms =
+      static_cast<std::uint64_t>(cli.get_int("guard-target-p95-ms", 250));
+  exec_options.guard.client_share = cli.get_double("guard-share", 0.5);
+  if (cli.has("no-guard-brownout")) exec_options.guard.brownout = false;
+  if (cli.has("no-guard-adaptive")) exec_options.guard.adaptive = false;
+
   // Chaos mode: inject a deterministic fault plan into the daemon's own
   // sockets, workers, and cache writes (see docs/FAULTLINE.md).
   std::unique_ptr<FaultInjector> injector;
@@ -146,14 +162,19 @@ int main(int argc, char** argv) {
   };
   std::atomic<bool> drain_op{false};
   Server server(
-      [&executor, &drain_op](const std::string& line,
-                             bool* shutdown_requested) {
-        bool drain = false;
-        std::string response =
-            handle_request_line(line, executor, shutdown_requested, &drain);
-        if (drain) drain_op.store(true);
-        return response;
-      },
+      Server::TaggedLineHandler(
+          [&executor, &drain_op](const std::string& line,
+                                 const std::string& peer,
+                                 bool* shutdown_requested) {
+            bool drain = false;
+            // The connection's peer tag is the fallback guard identity for
+            // queries that carry no "client" field.
+            std::string response =
+                handle_request_line(line, executor, shutdown_requested,
+                                    &drain, "peer:" + peer);
+            if (drain) drain_op.store(true);
+            return response;
+          }),
       server_options);
   std::string error;
   if (!server.start(&error)) {
@@ -192,7 +213,8 @@ int main(int argc, char** argv) {
             << " cache hits, " << s.computed << " computed, "
             << s.dedup_joins << " dedup joins, " << s.rejected
             << " rejected, " << s.hung << " hung, " << s.stale_served
-            << " stale, " << s.cancelled << " cancelled)\n";
+            << " stale, " << s.cancelled << " cancelled, " << s.browned_out
+            << " browned out)\n";
   if (injector) {
     const FaultInjector::Counts c = injector->counts();
     std::cerr << "faults injected: " << c.total() << " (" << c.drops

@@ -1,0 +1,68 @@
+#include "netemu/faultline/client_mix.hpp"
+
+namespace netemu {
+
+const char* client_kind_name(ClientKind kind) {
+  switch (kind) {
+    case ClientKind::kWellBehaved:
+      return "well_behaved";
+    case ClientKind::kGreedy:
+      return "greedy";
+    case ClientKind::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+std::vector<ClientProfile> make_client_mix(const ClientMixSpec& spec) {
+  std::vector<ClientProfile> mix;
+  mix.reserve(spec.well_behaved + spec.greedy + spec.malformed);
+  std::uint64_t sm = spec.seed;
+  const auto add = [&](ClientKind kind, std::size_t count,
+                       const char* prefix) {
+    for (std::size_t i = 0; i < count; ++i) {
+      ClientProfile p;
+      p.kind = kind;
+      p.name = prefix + std::to_string(i);
+      p.seed = splitmix64(sm);
+      p.think_ms = kind == ClientKind::kWellBehaved ? spec.think_ms : 0;
+      p.honor_retry_after = kind == ClientKind::kWellBehaved;
+      mix.push_back(std::move(p));
+    }
+  };
+  add(ClientKind::kWellBehaved, spec.well_behaved, "well-");
+  add(ClientKind::kGreedy, spec.greedy, "greedy-");
+  add(ClientKind::kMalformed, spec.malformed, "mal-");
+  return mix;
+}
+
+std::string malformed_request_line(Prng& prng) {
+  switch (prng.below(8)) {
+    case 0:
+      return "this is not json";
+    case 1:
+      return "{\"op\":\"bandwidth\",";  // truncated object
+    case 2:
+      return "[1,2,3]";  // valid JSON, not an object
+    case 3:
+      return "{\"op\":\"no_such_op\"}";
+    case 4:
+      return "{\"op\":\"estimate\"}";  // missing required fields
+    case 5:
+      // Wrong-typed fields: n as string, client as number.
+      return "{\"op\":\"bandwidth\",\"family\":\"mesh\",\"n\":\"big\","
+             "\"client\":7}";
+    case 6:
+      return "{}";  // no op at all
+    default: {
+      // Oversized junk (but under the server's max_line): stresses the
+      // framing path without tripping the too-long disconnect.
+      std::string line = "{\"op\":\"";
+      line.append(4096, 'x');
+      line += "\"}";
+      return line;
+    }
+  }
+}
+
+}  // namespace netemu

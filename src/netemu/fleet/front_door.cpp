@@ -72,7 +72,8 @@ std::string FleetFrontDoor::handle_trace(const Json& request) {
 
 std::string FleetFrontDoor::handle_line(const std::string& line,
                                         bool* shutdown_requested,
-                                        bool* drain_requested) {
+                                        bool* drain_requested,
+                                        const std::string& peer) {
   std::string parse_error;
   Json request = Json::parse(line, &parse_error);
   if (!parse_error.empty() || !request.is_object()) {
@@ -119,6 +120,14 @@ std::string FleetFrontDoor::handle_line(const std::string& line,
   } else if (options_.trace_all && !request["trace"].is_string() &&
              query_kind_from_name(op).has_value()) {
     request["trace"] = hex64(scope::mint_trace_id());
+  }
+
+  // Client stamping: every backend sees the front door's source address, so
+  // without this, all fleet traffic would collapse into one guard client.
+  // Stamp the caller's connection tag unless the caller named itself.
+  if (!peer.empty() && !request["client"].is_string() &&
+      query_kind_from_name(op).has_value()) {
+    request["client"] = "peer:" + peer;
   }
 
   FleetRouter::Result r = router_.request(request);

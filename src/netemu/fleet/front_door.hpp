@@ -44,8 +44,13 @@ class FleetFrontDoor {
   /// Handle one request line (no trailing newline); returns the response
   /// line.  The fleet-side twin of handle_request_line().  A drain op sets
   /// `drain_requested` (when non-null) for the daemon's drain sequence.
+  /// `peer` is the connection's peer tag (Server::TaggedLineHandler): a
+  /// query op carrying no "client" field is stamped "peer:<peer>" before
+  /// routing, so backend guards can tell the fleet's callers apart even
+  /// though every backend sees the same front-door source address.
   std::string handle_line(const std::string& line, bool* shutdown_requested,
-                          bool* drain_requested = nullptr);
+                          bool* drain_requested = nullptr,
+                          const std::string& peer = {});
 
  private:
   std::string handle_trace(const Json& request);

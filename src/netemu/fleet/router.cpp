@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "netemu/fleet/rendezvous.hpp"
 #include "netemu/scope/flight_recorder.hpp"
@@ -327,8 +328,19 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
     }
   } active_guard{this};
 
-  const std::vector<std::size_t> order =
+  std::vector<std::size_t> order =
       rendezvous_rank(route_key(request_doc), ids_);
+  if (options_.pressure_sink_threshold > 0.0) {
+    // Overload preference: backends whose last probe reported pressure at or
+    // above the threshold sink to the back of the rendezvous order.  A
+    // stable partition keeps the affinity ranking within each group, and a
+    // sunk backend is still a candidate — under fleet-wide overload the
+    // request degrades to the old behaviour instead of failing outright.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::stable_partition(order.begin(), order.end(), [&](std::size_t i) {
+      return backends_[i]->pressure < options_.pressure_sink_threshold;
+    });
+  }
 
   Result out;
   std::string last_error;
@@ -524,8 +536,19 @@ void FleetRouter::probe_loop() {
     }
     for (std::size_t i : targets) ++backends_[i]->probes;
     lock.unlock();
-    for (std::size_t i : targets) attempt(i, probe);
+    // Health answers double as pressure reports: the backend's guard (or,
+    // guardless, its queue fullness) rides in result.pressure and feeds the
+    // router's prefer-lower-pressure ordering.
+    std::vector<std::pair<std::size_t, double>> pressures;
+    for (std::size_t i : targets) {
+      Attempt a = attempt(i, probe);
+      if (a.responded && a.doc["ok"].as_bool()) {
+        const Json& p = a.doc["result"]["pressure"];
+        if (p.is_number()) pressures.emplace_back(i, p.as_number());
+      }
+    }
     lock.lock();
+    for (const auto& [i, p] : pressures) backends_[i]->pressure = p;
   }
 }
 
@@ -559,6 +582,7 @@ FleetRouter::Stats FleetRouter::stats() const {
     bs.transport_failures = b.transport_failures;
     bs.probes = b.probes;
     bs.ejections = b.health.ejections();
+    bs.pressure = b.pressure;
     s.backends.push_back(std::move(bs));
   }
   return s;
@@ -587,6 +611,7 @@ Json fleet_stats_to_json(const FleetRouter::Stats& stats) {
     e["transport_failures"] = b.transport_failures;
     e["probes"] = b.probes;
     e["ejections"] = b.ejections;
+    e["pressure"] = b.pressure;
     backends.items().push_back(std::move(e));
   }
   doc["backends"] = std::move(backends);

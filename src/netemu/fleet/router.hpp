@@ -8,7 +8,9 @@
 //     │         stays hot (free affinity, no rebalancing on membership
 //     │         change)
 //     ├─ health: skip backends whose circuit breaker is open; a half-open
-//     │          backend gets exactly one in-flight probe
+//     │          backend gets exactly one in-flight probe; a backend whose
+//     │          probed guard pressure is at/above the sink threshold moves
+//     │          to the back of the order (prefer lower-pressure peers)
 //     ├─ failover: a refused connect, dropped connection, or shed response
 //     │            moves to the next hash choice — safe because every query
 //     │            op is idempotent (content-addressed results)
@@ -72,6 +74,11 @@ class FleetRouter {
     std::size_t latency_window = 256;
     /// Idle persistent connections kept per backend.
     std::size_t pool_per_backend = 8;
+    /// Overload-aware routing: a backend whose last health probe reported
+    /// guard pressure at or above this sinks to the back of its rendezvous
+    /// order (still tried — affinity loses to overload, not to liveness).
+    /// 0 disables the preference.
+    double pressure_sink_threshold = 0.9;
   };
 
   struct Result {
@@ -125,6 +132,9 @@ class FleetRouter {
     std::uint64_t transport_failures = 0;  ///< drops/timeouts (incl. refused)
     std::uint64_t probes = 0;     ///< background health probes sent
     std::uint64_t ejections = 0;  ///< breaker open transitions
+    /// Guard pressure from the last health probe (0 until one answers;
+    /// backends without a guard report queue fullness instead).
+    double pressure = 0.0;
   };
   struct Stats {
     std::uint64_t requests = 0;    ///< request() calls
@@ -168,6 +178,8 @@ class FleetRouter {
     std::uint64_t refused = 0;
     std::uint64_t transport_failures = 0;
     std::uint64_t probes = 0;
+    /// Guard pressure parsed from the last health-probe response.
+    double pressure = 0.0;
     /// Last breaker state seen by note_breaker_locked (event de-dup).
     BackendHealth::State last_state = BackendHealth::State::kClosed;
   };

@@ -1,0 +1,28 @@
+#include "netemu/guard/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netemu::guard {
+
+std::uint64_t query_cost(const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kBandwidth:
+    case QueryKind::kMaxHost:
+    case QueryKind::kBounds:
+      // Closed-form lookups and table solves: microseconds, flat in n.
+      return 1;
+    case QueryKind::kEstimate: {
+      // The simulator's work is ~ nodes x trials (ticks per node-trial is
+      // bounded for the families we build).  q.n is validated <= 1e7 and
+      // trials <= 64, so the product stays well inside double precision.
+      const double node_trials =
+          std::max(2.0, q.n) * static_cast<double>(std::max(1u, q.trials));
+      const double units = std::ceil(node_trials / kUnitNodeTrials);
+      return static_cast<std::uint64_t>(std::max(1.0, units));
+    }
+  }
+  return 1;
+}
+
+}  // namespace netemu::guard

@@ -79,7 +79,7 @@ double micros_since(SteadyClock::time_point start) {
 
 class EpollPlane final : public ServerPlane {
  public:
-  EpollPlane(Server::LineHandler handler, Server::Options options,
+  EpollPlane(Server::TaggedLineHandler handler, Server::Options options,
              std::function<void()> on_shutdown_request)
       : handler_(std::move(handler)),
         options_(std::move(options)),
@@ -189,6 +189,7 @@ class EpollPlane final : public ServerPlane {
 
   struct Conn {
     std::uint64_t gen = 0;  ///< guards completions against fd reuse
+    std::string peer;       ///< "ip:port" tag (guard client identity)
     std::string in;         ///< unparsed input tail
     bool discarding = false;  ///< inside an overlong line, pre-newline
     std::deque<PendingRequest> requests;
@@ -315,6 +316,7 @@ class EpollPlane final : public ServerPlane {
   void register_conn(Shard& shard, int fd) {
     auto conn = std::make_unique<Conn>();
     conn->gen = shard.next_gen++;
+    conn->peer = peer_tag(fd);
     Conn* c = conn.get();
     shard.conns.emplace(fd, std::move(conn));
     epoll_event ev{};
@@ -466,13 +468,16 @@ class EpollPlane final : public ServerPlane {
       conn.requests.pop_front();
       Shard* shard_ptr = &shard;
       const std::uint64_t gen = conn.gen;
+      // Peer copied by value: the connection may be closed (and its Conn
+      // destroyed) while the handler runs on the offload pool.
       const bool accepted = offload_pool_->submit(
-          [this, shard_ptr, fd, gen, line = std::move(line)] {
+          [this, shard_ptr, fd, gen, line = std::move(line),
+           peer = conn.peer] {
             bool shutdown = false;
             Completion done;
             done.fd = fd;
             done.gen = gen;
-            done.response = handler_(line, &shutdown);
+            done.response = handler_(line, peer, &shutdown);
             done.shutdown = shutdown;
             {
               std::lock_guard lock(shard_ptr->inbox_mutex);
@@ -583,7 +588,7 @@ class EpollPlane final : public ServerPlane {
     connections_gauge().add(-1.0);
   }
 
-  Server::LineHandler handler_;
+  Server::TaggedLineHandler handler_;
   Server::Options options_;
   std::function<void()> on_shutdown_request_;
   std::atomic<int> listen_fd_{-1};
@@ -597,7 +602,7 @@ class EpollPlane final : public ServerPlane {
 }  // namespace
 
 std::unique_ptr<ServerPlane> make_epoll_plane(
-    Server::LineHandler handler, Server::Options options,
+    Server::TaggedLineHandler handler, Server::Options options,
     std::function<void()> on_shutdown_request) {
   return std::make_unique<EpollPlane>(std::move(handler), std::move(options),
                                       std::move(on_shutdown_request));

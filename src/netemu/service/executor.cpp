@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "netemu/faultline/injector.hpp"
+#include "netemu/guard/cost.hpp"
 #include "netemu/scope/flight_recorder.hpp"
 #include "netemu/scope/trace.hpp"
 #include "netemu/service/planner.hpp"
@@ -96,6 +97,21 @@ QueryExecutor::QueryExecutor(Options options)
   }
   if (options_.faults) cache_.set_fault_injector(options_.faults);
   if (options_.load_cache && !options_.cache_file.empty()) cache_.load();
+  if (options_.guard.enabled) {
+    guard::Options gopts = options_.guard;
+    if (gopts.cost_budget == 0) {
+      // Eight closed-form units per legacy queue slot: the cost gate starts
+      // roomier than the count gate for cheap queries and far tighter for
+      // heavy estimates, which is the point.
+      gopts.cost_budget =
+          8 * static_cast<std::uint64_t>(
+                  std::max<std::size_t>(1, options_.max_queue));
+    }
+    guard_ = std::make_unique<guard::Guard>(std::move(gopts),
+                                            &execute_us_hist());
+    sched_ = std::make_unique<guard::FairScheduler>(
+        pool_, guard::FairScheduler::Options{});
+  }
   if (options_.hang_timeout_ms > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
@@ -108,6 +124,9 @@ QueryExecutor::~QueryExecutor() {
   }
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
+  // Queued-but-unstarted tasks answer their waiters before the pool goes
+  // away; tasks already on a worker drain below.
+  if (sched_) sched_->shed_queued();
   // Drain in-flight work first so every accepted computation lands in the
   // cache before it is persisted.
   pool_.shutdown();
@@ -135,6 +154,7 @@ void QueryExecutor::watchdog_loop() {
         f.cancel.request_cancel();
         ++stats_.hung;
         --pending_;  // free the admission slot its leader occupied
+        pending_cost_units_ -= std::min(pending_cost_units_, f.cost);
         hung.push_back(it->second);
         it = flights_.erase(it);
       } else {
@@ -248,9 +268,12 @@ Response QueryExecutor::execute(const Query& q) {
 
   const std::uint64_t deadline_ms =
       q.deadline_ms > 0 ? q.deadline_ms : options_.default_deadline_ms;
+  const std::uint64_t cost = guard::query_cost(q);
+  const std::string client = q.client.empty() ? std::string("anon") : q.client;
 
   std::shared_ptr<Flight> flight;
   bool leader = false;
+  unsigned brownout_trials = 0;  // 0 = serve the full sweep
   {
     std::lock_guard lock(mutex_);
     ++stats_.requests;
@@ -268,10 +291,11 @@ Response QueryExecutor::execute(const Query& q) {
             "draining: new flight refused key=" + hex64(key));
         exec_span.set_note("drain-shed");
         // Overloaded-shaped so clients back off and fleet front doors fail
-        // over to a backend that is not going away.
+        // over to a backend that is not going away.  No retry hint: this
+        // server will not be less drained in retry_after_ms, the caller
+        // should go elsewhere.
         response.error = "overloaded: draining";
         response.overloaded = true;
-        response.retry_after_ms = options_.retry_after_hint_ms;
         return finish(response);
       }
       if (pending_ >= options_.max_queue) {
@@ -284,19 +308,49 @@ Response QueryExecutor::execute(const Query& q) {
         exec_span.set_note("shed");
         response.error = "overloaded: admission queue full";
         response.overloaded = true;
-        response.retry_after_ms = options_.retry_after_hint_ms;
+        response.retry_after_ms = drain_rate_.hint_ms(
+            static_cast<double>(pending_cost_units_),
+            options_.retry_after_hint_ms);
         return finish(response);
+      }
+      if (guard_) {
+        const guard::Guard::Decision decision =
+            guard_->admit(client, q, cost);
+        if (!decision.admit) {
+          ++stats_.rejected;
+          shed_counter().inc();
+          scope::FlightRecorder::global().record(
+              scope::FlightRecorder::Kind::kShed, tid,
+              "guard shed (" + decision.reason + "): client=" + client +
+                  " cost=" + std::to_string(cost) + " key=" + hex64(key));
+          exec_span.set_note("shed");
+          response.error = "overloaded: " + decision.reason;
+          response.overloaded = true;
+          // Rate-limit sheds carry a token-refill hint; backlog/share sheds
+          // scale with how long the admitted cost takes to drain.
+          response.retry_after_ms =
+              decision.retry_after_ms != 0
+                  ? decision.retry_after_ms
+                  : drain_rate_.hint_ms(
+                        static_cast<double>(pending_cost_units_),
+                        options_.retry_after_hint_ms);
+          return finish(response);
+        }
+        if (decision.brownout) brownout_trials = decision.trials;
       }
       flight = std::make_shared<Flight>();
       flight->started = start;
       flight->key = key;
       flight->trace_id = tid;
+      flight->cost = cost;
+      flight->client = client;
       flight->waiters = 1;
       // Arm the compute deadline now, before the task is submitted and the
       // token can be checked concurrently (CancelSource's arm contract).
       flight->cancel.set_deadline_after_ms(deadline_ms);
       flights_[key] = flight;
       ++pending_;
+      pending_cost_units_ += cost;
       leader = true;
     }
   }
@@ -309,8 +363,8 @@ Response QueryExecutor::execute(const Query& q) {
   if (leader) {
     const Query task_query = q;
     const std::uint64_t submit_us = scope::now_us();
-    const bool accepted = pool_.submit([this, task_query, key, tid, submit_us,
-                                        flight] {
+    std::function<void()> task = [this, task_query, key, tid, submit_us,
+                                  brownout_trials, flight] {
       if (tid != 0) {
         // Admission-to-pickup latency: starts at submit, ends now that a
         // worker owns the task.
@@ -328,7 +382,12 @@ Response QueryExecutor::execute(const Query& q) {
       const auto compute_start = Clock::now();
       scope::SpanTimer sim_span(tid, "sim.run");
       try {
-        doc = options_.compute(task_query, token);
+        // Brownout: run the reduced sweep under the ORIGINAL flight (cache
+        // key unchanged) — the result document is patched below to look
+        // like a degraded partial of the full request.
+        Query run_query = task_query;
+        if (brownout_trials > 0) run_query.trials = brownout_trials;
+        doc = options_.compute(run_query, token);
         computed.result = doc.dump();
         computed.ok = true;
         computed.degraded = doc["degraded"].as_bool(false);
@@ -390,8 +449,17 @@ Response QueryExecutor::execute(const Query& q) {
           ++stats_.stale_served;
         } else if (computed.ok) {
           ++stats_.computed;
+          if (brownout_trials > 0) ++stats_.browned_out;
         } else {
           ++stats_.errors;
+        }
+        // Drain-rate sample: only full, uncancelled, unbrowned computes —
+        // a sweep that quit early (or was shortened by policy) would make
+        // the per-unit estimate optimistic.
+        if (computed.ok && !computed.stale && !computed.degraded &&
+            brownout_trials == 0) {
+          drain_rate_.note(compute_micros / 1000.0, flight->cost,
+                           pool_.size());
         }
         // The watchdog may have abandoned this flight (erasing it and
         // freeing its slot); only unregister what is still registered, and
@@ -400,7 +468,22 @@ Response QueryExecutor::execute(const Query& q) {
         if (it != flights_.end() && it->second == flight) {
           flights_.erase(it);
           --pending_;
+          pending_cost_units_ -= std::min(pending_cost_units_, flight->cost);
         }
+      }
+      if (guard_) guard_->complete(flight->client, flight->cost);
+      // A completed brownout answers as a degraded partial of the FULL
+      // request: trials echoes what was asked, trials_completed what ran.
+      // Set after the cancellation accounting above — a brownout is a
+      // policy choice, not a reclaimed compute.
+      if (brownout_trials > 0 && computed.ok && !computed.stale &&
+          !computed.degraded) {
+        doc["trials_completed"] = doc["trials"];
+        doc["trials"] = task_query.trials;
+        doc["degraded"] = true;
+        doc["brownout"] = true;
+        computed.result = doc.dump();
+        computed.degraded = true;
       }
       // Errors are not cached: a transient failure should not poison the
       // content address forever.  (Stale fallbacks are already in cache.)
@@ -421,14 +504,24 @@ Response QueryExecutor::execute(const Query& q) {
         }
       }
       flight->cv.notify_all();
-    });
-    if (!accepted) {
+    };
+    if (sched_) {
+      // Guard mode: the fair scheduler owns dispatch order (DRR across
+      // clients).  If the task is shed before it starts (drain, shutdown),
+      // the flight's waiters — this leader included — get an overloaded
+      // response through the shed callback and the wait below returns.
+      sched_->submit(flight->client, cost, std::move(task),
+                     [this, flight, key, tid] {
+                       shed_unstarted_flight(flight, key, tid);
+                     });
+    } else if (!pool_.submit(std::move(task))) {
       {
         std::lock_guard lock(mutex_);
         const auto it = flights_.find(key);
         if (it != flights_.end() && it->second == flight) {
           flights_.erase(it);
           --pending_;
+          pending_cost_units_ -= std::min(pending_cost_units_, flight->cost);
         }
         if (flight->waiters > 0) --flight->waiters;
         ++stats_.rejected;
@@ -529,12 +622,50 @@ std::size_t QueryExecutor::cancel_all() {
   return flights.size();
 }
 
+void QueryExecutor::shed_unstarted_flight(
+    const std::shared_ptr<Flight>& flight, std::uint64_t key,
+    std::uint64_t tid) {
+  bool was_draining = false;
+  {
+    std::lock_guard lock(mutex_);
+    was_draining = draining_;
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == flight) {
+      flights_.erase(it);
+      --pending_;
+      pending_cost_units_ -= std::min(pending_cost_units_, flight->cost);
+    }
+    ++stats_.rejected;
+  }
+  if (guard_) guard_->release(flight->client, flight->cost);
+  shed_counter().inc();
+  scope::FlightRecorder::global().record(
+      scope::FlightRecorder::Kind::kShed, tid,
+      "queued flight shed before start key=" + hex64(key));
+  {
+    std::lock_guard flight_lock(flight->mutex);
+    if (!flight->done) {
+      flight->response.ok = false;
+      flight->response.overloaded = true;
+      // Draining sheds carry no retry hint — this server is going away;
+      // the caller should fail over, not wait.
+      flight->response.error =
+          was_draining ? "overloaded: draining" : "executor shutting down";
+      flight->done = true;
+    }
+  }
+  flight->cv.notify_all();
+}
+
 void QueryExecutor::begin_drain() {
   {
     std::lock_guard lock(mutex_);
     if (draining_) return;
     draining_ = true;
   }
+  // Queued-but-unstarted flights answer "draining" now instead of running:
+  // drain exists to finish what is running, not to start new work.
+  if (sched_) sched_->shed_queued();
   scope::FlightRecorder::global().record(scope::FlightRecorder::Kind::kInfo,
                                          0, "executor draining");
 }
@@ -557,6 +688,10 @@ QueryExecutor::ComputeTimes QueryExecutor::compute_times() const {
   t.p95_us = snap.quantile(0.95);
   t.p99_us = snap.quantile(0.99);
   return t;
+}
+
+double QueryExecutor::pressure() const {
+  return guard_ ? guard_->pressure() : 0.0;
 }
 
 std::size_t QueryExecutor::pending() const {

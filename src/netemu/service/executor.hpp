@@ -43,6 +43,8 @@
 #include <thread>
 #include <vector>
 
+#include "netemu/guard/fair_queue.hpp"
+#include "netemu/guard/guard.hpp"
 #include "netemu/scope/metrics.hpp"
 #include "netemu/service/query.hpp"
 #include "netemu/service/result_cache.hpp"
@@ -84,7 +86,10 @@ class QueryExecutor {
     /// Flights older than this are cancelled by the watchdog (waiters get
     /// an error, the admission slot is freed).  0 disables the watchdog.
     std::uint64_t hang_timeout_ms = 0;
-    /// Backoff hint attached to shed ("overloaded") responses.
+    /// Backoff hint attached to shed ("overloaded") responses.  Used as-is
+    /// until the executor has completed at least one compute; after that the
+    /// hint scales with backlog depth x observed drain rate (clamped),
+    /// so a deep backlog tells clients to wait longer than a shallow one.
     std::uint64_t retry_after_hint_ms = 50;
     /// When a forced recompute fails, serve the previous cached value
     /// (marked stale) instead of the error.
@@ -101,6 +106,12 @@ class QueryExecutor {
     /// "degraded": true (see plan_query); compute that ignores it merely
     /// keeps the pre-cancellation behavior.
     std::function<Json(const Query&, const CancelToken&)> compute;
+    /// Overload guard (netemu::guard): cost-model admission, per-client
+    /// token buckets + fair-share caps, DRR dispatch, AIMD limit, brownout.
+    /// Disabled by default — embedded executors keep the plain max_queue
+    /// counter.  When enabled with cost_budget == 0, the budget derives as
+    /// 8 x max_queue cost units.
+    guard::Options guard;
   };
 
   QueryExecutor();  // all-default Options
@@ -135,6 +146,8 @@ class QueryExecutor {
     std::uint64_t cancelled = 0;       ///< computes stopped by cooperative
                                        ///< cancellation (degraded partials
                                        ///< included)
+    std::uint64_t browned_out = 0;     ///< estimates served with a reduced
+                                       ///< sweep by the guard's brownout
   };
   Stats stats() const;
 
@@ -174,6 +187,12 @@ class QueryExecutor {
 
   const Options& options() const { return options_; }
 
+  /// The overload guard, or nullptr when Options::guard.enabled is false.
+  const guard::Guard* overload_guard() const { return guard_.get(); }
+  /// Guard pressure (pending admitted cost / effective limit); 0 without a
+  /// guard.  >= 1.0 means the admission gate is effectively closed.
+  double pressure() const;
+
   ResultCache& cache() { return cache_; }
   ThreadPool& pool() { return pool_; }
   /// Persist the cache to its file (no-op without one).
@@ -190,6 +209,8 @@ class QueryExecutor {
     Clock::time_point started;  // immutable after creation
     std::uint64_t key = 0;          // immutable after creation
     std::uint64_t trace_id = 0;     // leader's trace id (immutable)
+    std::uint64_t cost = 0;         // admission cost units (immutable)
+    std::string client;             // leader's client identity (immutable)
     bool abandoned = false;     // guarded by the executor mutex_
     // Deadline armed at creation (before the compute task exists); fired by
     // the watchdog, the last departing waiter, cancel_trace, or cancel_all.
@@ -198,6 +219,11 @@ class QueryExecutor {
   };
 
   void watchdog_loop();
+  /// Answer a queued-but-never-started flight (drain shed, pool refusal):
+  /// unregister it, un-charge the guard, and publish an overloaded/draining
+  /// response to its waiters.
+  void shed_unstarted_flight(const std::shared_ptr<Flight>& flight,
+                             std::uint64_t key, std::uint64_t tid);
 
   Options options_;
   ResultCache cache_;
@@ -205,11 +231,15 @@ class QueryExecutor {
 
   void record_compute_micros(double micros);
 
-  mutable std::mutex mutex_;  // guards flights_, pending_, stats_, draining_
+  mutable std::mutex mutex_;  // guards flights_, pending_, stats_,
+                              // draining_, drain_rate_
   std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
   std::size_t pending_ = 0;
+  std::uint64_t pending_cost_units_ = 0;  // sum of cost over leader flights
   Stats stats_;
   bool draining_ = false;
+  guard::DrainRate drain_rate_;  // feeds dynamic retry_after_ms hints
+  std::unique_ptr<guard::Guard> guard_;  // null when Options::guard disabled
   scope::Histogram compute_us_;  // lock-free; written by workers, read by
                                  // compute_times() without mutex_
 
@@ -218,7 +248,11 @@ class QueryExecutor {
   std::thread watchdog_;
 
   // Declared last: destroyed (drained) first, while cache_ and flights_ are
-  // still alive for in-flight tasks to publish into.
+  // still alive for in-flight tasks to publish into.  sched_ sits between
+  // execute() and pool_ when the guard is enabled; its dispatch callbacks
+  // run on pool threads, so it is declared before pool_ (outlives the
+  // drain) and its queue is shed in the destructor before pool shutdown.
+  std::unique_ptr<guard::FairScheduler> sched_;
   ThreadPool pool_;
 };
 

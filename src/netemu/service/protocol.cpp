@@ -49,6 +49,7 @@ std::string stats_line(QueryExecutor& exec, const Json& request) {
   result["hung"] = s.hung;
   result["stale_served"] = s.stale_served;
   result["cancelled"] = s.cancelled;
+  result["browned_out"] = s.browned_out;
   Json cache = Json::object();
   cache["size"] = exec.cache().size();
   cache["capacity"] = exec.cache().capacity();
@@ -133,12 +134,31 @@ std::string health_line(QueryExecutor& exec) {
   compute["sim_messages_total"] = simulated_messages_total();
   compute["epoch_unix_s"] = scope::process_epoch_unix_s();
 
+  // Overload pressure for fleet routing: with a guard, pending admitted
+  // cost over the effective limit; without one, queue occupancy.  >= 1.0
+  // means the admission gate is effectively closed.
+  const double pressure =
+      exec.overload_guard()
+          ? exec.pressure()
+          : (max_queue > 0 ? static_cast<double>(pending) /
+                                 static_cast<double>(max_queue)
+                           : 0.0);
+
   Json result = Json::object();
   // Draining outranks overloaded: a drained backend is going away, and a
   // fleet probe that sees it should route new work elsewhere.
-  result["status"] = exec.draining()            ? "draining"
-                     : pending >= max_queue ? "overloaded"
-                                            : "ok";
+  result["status"] = exec.draining()                          ? "draining"
+                     : (pending >= max_queue || pressure >= 1.0)
+                         ? "overloaded"
+                         : "ok";
+  result["pressure"] = pressure;
+  if (const guard::Guard* g = exec.overload_guard()) {
+    result["guard"] = g->to_json();
+  } else {
+    Json off = Json::object();
+    off["enabled"] = false;
+    result["guard"] = std::move(off);
+  }
   result["uptime_s"] = exec.uptime_seconds();
   result["pool"] = std::move(pool);
   result["cache"] = std::move(cache);
@@ -167,7 +187,9 @@ std::string response_to_line(const Response& r) {
     doc["micros"] = r.micros;
     if (r.overloaded) {
       doc["overloaded"] = true;
-      doc["retry_after_ms"] = r.retry_after_ms;
+      // A zero hint (draining sheds) is omitted: there is no useful wait —
+      // the caller should fail over instead of retrying here.
+      if (r.retry_after_ms != 0) doc["retry_after_ms"] = r.retry_after_ms;
     }
     if (r.trace_id != 0) doc["trace"] = hex64(r.trace_id);
     return doc.dump();
@@ -236,7 +258,8 @@ std::optional<std::string> try_handle_request_line_fast(
 
 std::string handle_request_line(const std::string& line, QueryExecutor& exec,
                                 bool* shutdown_requested,
-                                bool* drain_requested) {
+                                bool* drain_requested,
+                                const std::string& default_client) {
   std::string error;
   const Json request = Json::parse(line, &error);
   if (!error.empty()) return error_line("bad JSON: " + error);
@@ -287,8 +310,13 @@ std::string handle_request_line(const std::string& line, QueryExecutor& exec,
     return doc.dump();
   }
 
-  const auto query = query_from_json(request, &error);
+  auto query = query_from_json(request, &error);
   if (!query) return error_line(error);
+  if (query->client.empty() && !default_client.empty()) {
+    // Per-connection identity for the guard's fairness; truncated to the
+    // wire field's own cap so a stamped identity obeys the same rules.
+    query->client = default_client.substr(0, 64);
+  }
   return response_to_line(exec.execute(*query));
 }
 

@@ -61,9 +61,13 @@ std::optional<std::string> try_handle_request_line_fast(
 /// a shutdown op and `shutdown_requested` is non-null, sets it.  A drain op
 /// puts the executor into drain mode immediately and sets `drain_requested`
 /// (when non-null) so the daemon can run its bounded drain sequence.
+/// `default_client` is stamped onto query ops that carry no "client" field
+/// (servers pass the connection's peer address), so the guard's per-client
+/// fairness sees a stable identity even for clients that never set one.
 std::string handle_request_line(const std::string& line, QueryExecutor& exec,
                                 bool* shutdown_requested = nullptr,
-                                bool* drain_requested = nullptr);
+                                bool* drain_requested = nullptr,
+                                const std::string& default_client = {});
 
 /// Serialize a Response into the response document text.  `result` is
 /// spliced in verbatim (it is already JSON), so the cached fast path never

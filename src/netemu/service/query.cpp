@@ -289,6 +289,14 @@ std::optional<Query> query_from_json(const Json& request, std::string* error) {
     if (!r.is_bool()) return fail("'refresh' must be a boolean");
     q.refresh = r.as_bool();
   }
+  if (request.contains("client")) {
+    const Json& c = request["client"];
+    if (!c.is_string()) return fail("'client' must be a string");
+    q.client = c.as_string();
+    if (q.client.size() > 64) {
+      return fail("'client' must be at most 64 characters");
+    }
+  }
   if (request.contains("trace")) {
     const Json& t = request["trace"];
     if (!t.is_string()) return fail("'trace' must be a hex64 string");
@@ -327,6 +335,7 @@ Json query_to_json(const Query& q) {
   if (q.deadline_ms > 0) doc["deadline_ms"] = q.deadline_ms;
   if (q.refresh) doc["refresh"] = true;
   if (q.trace_id != 0) doc["trace"] = hex64(q.trace_id);
+  if (!q.client.empty()) doc["client"] = q.client;
   return doc;
 }
 

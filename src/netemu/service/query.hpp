@@ -65,6 +65,12 @@ struct Query {
                                   ///< hex64); 0 = untraced.  Like deadline_ms
                                   ///< it never enters the cache key: tracing
                                   ///< a query must not fork its identity.
+  std::string client;             ///< caller identity for the guard's
+                                  ///< per-client fairness ("client" wire
+                                  ///< field; servers stamp the connection
+                                  ///< peer when absent).  NOT part of the
+                                  ///< cache key: who asks must not fork the
+                                  ///< answer's identity.
 
   /// Canonical key string: "kind|field=value|..." over exactly the fields
   /// relevant to this kind, in fixed order.

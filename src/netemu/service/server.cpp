@@ -50,6 +50,19 @@ int listen_loopback(const Server::Options& options, std::uint16_t* port,
   return fd;
 }
 
+std::string peer_tag(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0 &&
+      addr.sin_family == AF_INET) {
+    char ip[INET_ADDRSTRLEN] = {};
+    if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip))) {
+      return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+    }
+  }
+  return "conn-" + std::to_string(fd);
+}
+
 namespace {
 
 // -----------------------------------------------------------------------
@@ -59,7 +72,7 @@ namespace {
 // -----------------------------------------------------------------------
 class BlockingPlane final : public ServerPlane {
  public:
-  BlockingPlane(Server::LineHandler handler, Server::Options options,
+  BlockingPlane(Server::TaggedLineHandler handler, Server::Options options,
                 std::function<void()> on_shutdown_request)
       : handler_(std::move(handler)),
         options_(options),
@@ -148,6 +161,7 @@ class BlockingPlane final : public ServerPlane {
   void handle_connection(int fd) {
     LineChannel channel(fd);
     channel.set_fault_injector(options_.faults);
+    const std::string peer = peer_tag(fd);
     std::string line;
     bool shutdown_requested = false;
     while (!shutdown_requested) {
@@ -165,7 +179,7 @@ class BlockingPlane final : public ServerPlane {
             "request line exceeds " + std::to_string(options_.max_line) +
             " bytes");
       } else {
-        response = handler_(line, &shutdown_requested);
+        response = handler_(line, peer, &shutdown_requested);
       }
       if (!channel.write_line(response)) break;
     }
@@ -182,7 +196,7 @@ class BlockingPlane final : public ServerPlane {
     if (shutdown_requested) on_shutdown_request_();
   }
 
-  Server::LineHandler handler_;
+  Server::TaggedLineHandler handler_;
   Server::Options options_;
   std::function<void()> on_shutdown_request_;
   // Atomic: the accept thread reads it while stop() closes and resets it.
@@ -199,7 +213,7 @@ class BlockingPlane final : public ServerPlane {
 }  // namespace
 
 std::unique_ptr<ServerPlane> make_blocking_plane(
-    Server::LineHandler handler, Server::Options options,
+    Server::TaggedLineHandler handler, Server::Options options,
     std::function<void()> on_shutdown_request) {
   return std::make_unique<BlockingPlane>(std::move(handler), options,
                                          std::move(on_shutdown_request));
@@ -211,9 +225,14 @@ Server::Server(QueryExecutor& executor) : Server(executor, Options()) {}
 
 Server::Server(QueryExecutor& executor, Options options)
     : Server(
-          [&executor](const std::string& line, bool* shutdown_requested) {
-            return handle_request_line(line, executor, shutdown_requested);
-          },
+          TaggedLineHandler([&executor](const std::string& line,
+                                        const std::string& peer,
+                                        bool* shutdown_requested) {
+            // Stamp the connection peer as the default client identity so
+            // the guard's per-client fairness works without cooperation.
+            return handle_request_line(line, executor, shutdown_requested,
+                                       nullptr, "peer:" + peer);
+          }),
           [&options, &executor]() {
             // The executor handler gets the protocol fast path for free:
             // ping and cache hits answer inline on the reactor.
@@ -226,6 +245,16 @@ Server::Server(QueryExecutor& executor, Options options)
           }()) {}
 
 Server::Server(LineHandler handler, Options options)
+    : Server(
+          TaggedLineHandler([handler = std::move(handler)](
+                                const std::string& line,
+                                const std::string& /*peer*/,
+                                bool* shutdown_requested) {
+            return handler(line, shutdown_requested);
+          }),
+          std::move(options)) {}
+
+Server::Server(TaggedLineHandler handler, Options options)
     : handler_(std::move(handler)), options_(std::move(options)) {}
 
 Server::~Server() { stop(); }

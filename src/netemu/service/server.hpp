@@ -72,6 +72,15 @@ class Server {
       std::function<std::string(const std::string& line,
                                 bool* shutdown_requested)>;
 
+  /// LineHandler plus the connection's peer tag ("ip:port" from
+  /// getpeername, "conn-<fd>" when that fails) — a stable per-connection
+  /// identity handlers stamp onto queries that carry no "client" field, so
+  /// guard fairness can tell callers apart without client cooperation.
+  using TaggedLineHandler =
+      std::function<std::string(const std::string& line,
+                                const std::string& peer,
+                                bool* shutdown_requested)>;
+
   /// Optional non-blocking fast path run inline on a reactor shard: return
   /// the response line to answer immediately, nullopt to fall through to
   /// the LineHandler on the offload pool.  MUST NOT block (no locks held
@@ -108,6 +117,9 @@ class Server {
   Server(QueryExecutor& executor, Options options);
   /// Serve an arbitrary handler (the fleet front door's constructor).
   Server(LineHandler handler, Options options);
+  /// Serve a peer-aware handler (guard-enabled daemons, the front door's
+  /// per-connection client stamping).
+  Server(TaggedLineHandler handler, Options options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -142,7 +154,7 @@ class Server {
  private:
   void request_stop();
 
-  LineHandler handler_;
+  TaggedLineHandler handler_;  // plain LineHandlers are wrapped, peer unused
   Options options_;
   std::unique_ptr<detail::ServerPlane> plane_;
   std::uint16_t port_ = 0;
@@ -159,13 +171,17 @@ namespace detail {
 /// The sharded epoll event loop (event_loop.cpp).  `on_shutdown_request`
 /// is invoked (once) when a handler asked the server to stop.
 std::unique_ptr<ServerPlane> make_epoll_plane(
-    Server::LineHandler handler, Server::Options options,
+    Server::TaggedLineHandler handler, Server::Options options,
     std::function<void()> on_shutdown_request);
 
 /// The legacy thread-per-connection plane (server.cpp).
 std::unique_ptr<ServerPlane> make_blocking_plane(
-    Server::LineHandler handler, Server::Options options,
+    Server::TaggedLineHandler handler, Server::Options options,
     std::function<void()> on_shutdown_request);
+
+/// Peer tag for a connected socket: "ip:port" via getpeername, or
+/// "conn-<fd>" when the syscall fails (pipes in tests, torn sockets).
+std::string peer_tag(int fd);
 
 /// Shared by both planes: bind + listen on 127.0.0.1:options.port, resolve
 /// the actual port into *port.  Returns the listening fd, or -1 with

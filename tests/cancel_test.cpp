@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -238,6 +240,81 @@ TEST(ExecutorCancel, DrainShedsNewFlightsButServesCacheHits) {
   const Response hit = exec.execute(cached);
   EXPECT_TRUE(hit.ok);
   EXPECT_TRUE(hit.cache_hit);
+}
+
+// ----------------------------------------------------- drain during overload
+
+TEST(DrainOverload, DrainingOutranksGuardShedsAndCarriesNoHint) {
+  // A guarded executor mid-storm that starts draining must answer
+  // "draining" (no retry hint — the server is going away, callers should
+  // fail over), not a guard shed with a backoff hint that invites retries.
+  QueryExecutor::Options options;
+  options.threads = 1;
+  options.guard.enabled = true;
+  options.guard.cost_budget = 1;  // the gate is trivially full once busy
+  options.guard.adaptive = false;
+  options.compute = [](const Query& q, const CancelToken&) {
+    Json doc = Json::object();
+    doc["n"] = q.n;
+    return doc;
+  };
+  QueryExecutor exec(options);
+  exec.begin_drain();
+
+  const Response r = exec.execute(estimate_query(64));
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.overloaded);
+  EXPECT_NE(r.error.find("draining"), std::string::npos) << r.error;
+  EXPECT_EQ(r.retry_after_ms, 0u);
+}
+
+TEST(DrainOverload, QueuedUnstartedFlightsShedWhenDrainBegins) {
+  // Guard mode queues leaders in the fair scheduler when every worker is
+  // busy.  Drain exists to finish what is RUNNING: the queued-but-unstarted
+  // flight must answer "draining" immediately instead of starting.
+  QueryExecutor::Options options;
+  options.threads = 1;  // one worker, so a second flight parks in the queue
+  options.guard.enabled = true;
+  options.guard.adaptive = false;
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> computes{0};
+  options.compute = [&](const Query& q, const CancelToken&) {
+    ++computes;
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    Json doc = Json::object();
+    doc["n"] = q.n;
+    return doc;
+  };
+  QueryExecutor exec(options);
+
+  Response running, queued;
+  std::thread first([&] { running = exec.execute(estimate_query(64)); });
+  ASSERT_TRUE(eventually([&] { return computes.load() == 1; }));
+  std::thread second([&] { queued = exec.execute(estimate_query(65)); });
+  ASSERT_TRUE(eventually([&] { return exec.pending() == 2; }));
+
+  exec.begin_drain();
+  // The queued flight answers now — before the gate opens, so it provably
+  // never ran.
+  second.join();
+  EXPECT_FALSE(queued.ok);
+  EXPECT_TRUE(queued.overloaded);
+  EXPECT_NE(queued.error.find("draining"), std::string::npos) << queued.error;
+  EXPECT_EQ(queued.retry_after_ms, 0u);
+  EXPECT_EQ(computes.load(), 1);
+
+  // The running flight is drain's whole point: it finishes and answers.
+  {
+    std::lock_guard lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  first.join();
+  EXPECT_TRUE(running.ok) << running.error;
+  EXPECT_EQ(exec.stats().rejected, 1u);
 }
 
 // ------------------------------------------------------------------- protocol
