@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -13,11 +14,77 @@
 #include <vector>
 
 #include "netemu/bandwidth/theory.hpp"
+#include "netemu/faultline/process.hpp"
 #include "netemu/topology/factory.hpp"
 #include "netemu/util/stats.hpp"
 #include "netemu/util/table.hpp"
 
 namespace netemu::bench {
+
+// ------------------------------------------------------- backend processes
+// The soak harnesses (fleet_soak, drain_soak, overload_soak) and
+// scatter_speedup all spawn real netemu_serve child processes; the
+// fork/exec + listen-line handshake lives here so they share one copy.
+
+/// Default path of the netemu_serve binary for a bench living in
+/// build/bench/ (override with --serve-bin).
+inline std::string default_serve_bin(const std::string& program) {
+  const std::size_t slash = program.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : program.substr(0, slash);
+  return dir + "/../examples/netemu_serve";
+}
+
+/// Arguments for one spawned netemu_serve backend.  `port` 0 binds an
+/// ephemeral port (the bound port is parsed back out of the listen line);
+/// an empty `cache_file` runs memory-only (--no-persist).
+struct ServeSpawn {
+  std::uint16_t port = 0;
+  std::string cache_file;
+  int threads = 2;
+  int queue = 64;
+  std::vector<std::string> extra_args;  ///< appended verbatim
+};
+
+/// fork/exec one netemu_serve and block until it prints its listen line;
+/// `*port_out` (when non-null) receives the bound port.  False + *error on
+/// spawn failure, no listen line within 10 s, or an unparseable one.
+/// Teardown is the caller's choice: ManagedProcess RAII / kill_hard() for a
+/// crash, terminate() for a graceful SIGTERM drain.
+inline bool spawn_serve(ManagedProcess& proc, const std::string& serve_bin,
+                        const ServeSpawn& spawn, std::uint16_t* port_out,
+                        std::string* error) {
+  std::vector<std::string> argv = {
+      serve_bin,
+      "--port", std::to_string(spawn.port),
+      "--threads", std::to_string(spawn.threads),
+      "--queue", std::to_string(spawn.queue),
+  };
+  if (spawn.cache_file.empty()) {
+    argv.push_back("--no-persist");
+  } else {
+    argv.push_back("--cache-file");
+    argv.push_back(spawn.cache_file);
+  }
+  argv.insert(argv.end(), spawn.extra_args.begin(), spawn.extra_args.end());
+  if (!proc.start(argv, error)) return false;
+  std::string line;
+  if (!proc.read_stdout_line(line, 10000)) {
+    *error = serve_bin + ": no listen line within 10s (exit status " +
+             std::to_string(proc.exit_status()) + ")";
+    return false;
+  }
+  const std::string prefix = "listening on 127.0.0.1:";
+  if (line.rfind(prefix, 0) != 0) {
+    *error = "unexpected listen line: " + line;
+    return false;
+  }
+  if (port_out) {
+    *port_out =
+        static_cast<std::uint16_t>(std::stoi(line.substr(prefix.size())));
+  }
+  return true;
+}
 
 /// Machine ladder: instances of one family at geometrically growing sizes.
 struct Ladder {

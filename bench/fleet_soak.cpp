@@ -62,38 +62,17 @@ struct SeedResult {
   double secs = 0.0;
 };
 
-std::string default_serve_bin(const std::string& program) {
-  const std::size_t slash = program.find_last_of('/');
-  const std::string dir =
-      slash == std::string::npos ? "." : program.substr(0, slash);
-  return dir + "/../examples/netemu_serve";
-}
-
 /// Start (or restart) a backend and block until it prints its listen line.
 /// First start passes --port 0; restarts pin the original port.
 bool start_backend(BackendProc& b, const std::string& serve_bin,
                    std::string* error) {
   b.proc = std::make_unique<ManagedProcess>();
-  std::vector<std::string> argv = {
-      serve_bin,
-      "--port", std::to_string(b.port),  // 0 on first start
-      "--cache-file", b.cache_file,
-      "--threads", "2",
-      "--queue", "64",
-  };
-  if (!b.proc->start(argv, error)) return false;
-  std::string line;
-  if (!b.proc->read_stdout_line(line, 10000)) {
-    *error = serve_bin + ": no listen line within 10s (exit status " +
-             std::to_string(b.proc->exit_status()) + ")";
+  bench::ServeSpawn spawn;
+  spawn.port = b.port;  // 0 on first start
+  spawn.cache_file = b.cache_file;
+  if (!bench::spawn_serve(*b.proc, serve_bin, spawn, &b.port, error)) {
     return false;
   }
-  const std::string prefix = "listening on 127.0.0.1:";
-  if (line.rfind(prefix, 0) != 0) {
-    *error = "unexpected listen line: " + line;
-    return false;
-  }
-  b.port = static_cast<std::uint16_t>(std::stoi(line.substr(prefix.size())));
   b.down = false;
   return true;
 }
@@ -252,7 +231,7 @@ int main(int argc, char** argv) {
   const int kills = static_cast<int>(cli.get_int("kills", 2));
   const bool hedge = cli.has("hedge");
   const std::string serve_bin =
-      cli.get("serve-bin", default_serve_bin(cli.program()));
+      cli.get("serve-bin", bench::default_serve_bin(cli.program()));
 
   bench::print_header("fleet soak: 3 backends, kill -9 mid-flight");
   std::cout << "backend: " << serve_bin << "\n"

@@ -84,44 +84,20 @@ struct SeedResult {
   double secs = 0.0;
 };
 
-std::string default_serve_bin(const std::string& program) {
-  const std::size_t slash = program.find_last_of('/');
-  const std::string dir =
-      slash == std::string::npos ? "." : program.substr(0, slash);
-  return dir + "/../examples/netemu_serve";
-}
-
 bool start_backend(ManagedProcess& proc, const std::string& serve_bin,
                    std::uint16_t* port, std::string* error) {
   // Small compute pool + small guard budget: the storm must actually
   // overload it.  client_share 0.2 caps any one identity at 20% of the
   // budget so two greedy identities cannot monopolize admission.
-  const std::vector<std::string> argv = {
-      serve_bin,
-      "--port", "0",
-      "--no-persist",
-      "--threads", "2",
-      "--queue", "64",
+  bench::ServeSpawn spawn;
+  spawn.extra_args = {
       "--guard",
       "--guard-budget", "12",
       "--guard-share", "0.2",
       "--guard-target-p95-ms", "100",
       "--drain-ms", "2000",
   };
-  if (!proc.start(argv, error)) return false;
-  std::string line;
-  if (!proc.read_stdout_line(line, 10000)) {
-    *error = serve_bin + ": no listen line within 10s (exit status " +
-             std::to_string(proc.exit_status()) + ")";
-    return false;
-  }
-  const std::string prefix = "listening on 127.0.0.1:";
-  if (line.rfind(prefix, 0) != 0) {
-    *error = "unexpected listen line: " + line;
-    return false;
-  }
-  *port = static_cast<std::uint16_t>(std::stoi(line.substr(prefix.size())));
-  return true;
+  return bench::spawn_serve(proc, serve_bin, spawn, port, error);
 }
 
 Json query_for(const std::string& client, double unique_seed) {
@@ -394,7 +370,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("greedy-threads", 6));
   const double p99_gate_ms = cli.get_double("p99-gate-ms", 2000.0);
   const std::string serve_bin =
-      cli.get("serve-bin", default_serve_bin(cli.program()));
+      cli.get("serve-bin", bench::default_serve_bin(cli.program()));
 
   bench::print_header(
       "overload soak: guarded backend vs well-behaved + greedy + malformed");

@@ -106,6 +106,13 @@ int main(int argc, char** argv) {
   FleetRouter router(options);
   FleetFrontDoor::Options door_options;
   door_options.trace_all = cli.has("trace-all");
+  // Scatter-gather: estimates with at least this many trials decompose into
+  // trial-range sub-queries across the backends (docs/SCATTER.md).  0
+  // disables; the merged answer is bit-identical either way.
+  door_options.scatter.min_trials =
+      static_cast<unsigned>(cli.get_int("scatter-min-trials", 16));
+  door_options.scatter.max_ways =
+      static_cast<unsigned>(cli.get_int("scatter-ways", 4));
   FleetFrontDoor front_door(router, door_options);
 
   Server::Options server_options;

@@ -27,7 +27,9 @@ std::string ok_line(Json result) {
 }  // namespace
 
 FleetFrontDoor::FleetFrontDoor(FleetRouter& router, Options options)
-    : router_(router), options_(options) {}
+    : router_(router),
+      options_(options),
+      scatterer_(router, options.scatter) {}
 
 std::string FleetFrontDoor::handle_trace(const Json& request) {
   const Json& id = request["id"];
@@ -99,7 +101,17 @@ std::string FleetFrontDoor::handle_line(const std::string& line,
     return ok_line(std::move(result));
   }
   if (op == "fleet") {
-    return ok_line(fleet_stats_to_json(router_.stats()));
+    Json result = fleet_stats_to_json(router_.stats());
+    const Scatterer::Stats sc = scatterer_.stats();
+    Json scatter = Json::object();
+    scatter["scatters"] = sc.scatters;
+    scatter["subqueries"] = sc.subqueries;
+    scatter["straggler_retries"] = sc.straggler_retries;
+    scatter["merged_full"] = sc.merged_full;
+    scatter["merged_degraded"] = sc.merged_degraded;
+    scatter["failed"] = sc.failed;
+    result["scatter"] = std::move(scatter);
+    return ok_line(std::move(result));
   }
   if (op == "events") {
     Json result = Json::object();
@@ -110,14 +122,17 @@ std::string FleetFrontDoor::handle_line(const std::string& line,
   if (op == "trace") return handle_trace(request);
 
   // Trace minting: "trace":true (or trace_all) turns into a fresh id the
-  // backends and the router's own spans will record under.
-  if (request["trace"].is_bool()) {
-    if (request["trace"].as_bool()) {
+  // backends and the router's own spans will record under.  Read through
+  // const access: the mutable operator[] INSERTS a null member, and a
+  // "trace":null field fails query validation on every backend.
+  const Json& as_const = request;
+  if (as_const["trace"].is_bool()) {
+    if (as_const["trace"].as_bool()) {
       request["trace"] = hex64(scope::mint_trace_id());
     } else {
       request.fields().erase("trace");
     }
-  } else if (options_.trace_all && !request["trace"].is_string() &&
+  } else if (options_.trace_all && !as_const["trace"].is_string() &&
              query_kind_from_name(op).has_value()) {
     request["trace"] = hex64(scope::mint_trace_id());
   }
@@ -125,9 +140,16 @@ std::string FleetFrontDoor::handle_line(const std::string& line,
   // Client stamping: every backend sees the front door's source address, so
   // without this, all fleet traffic would collapse into one guard client.
   // Stamp the caller's connection tag unless the caller named itself.
-  if (!peer.empty() && !request["client"].is_string() &&
+  if (!peer.empty() && !as_const["client"].is_string() &&
       query_kind_from_name(op).has_value()) {
     request["client"] = "peer:" + peer;
+  }
+
+  // Big estimate sweeps scatter into trial-range sub-queries across the
+  // backends and merge bit-identically (docs/SCATTER.md); everything else
+  // routes whole.
+  if (scatterer_.eligible(request)) {
+    return scatterer_.scatter_line(request);
   }
 
   FleetRouter::Result r = router_.request(request);

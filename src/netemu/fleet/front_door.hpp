@@ -22,9 +22,11 @@
 // (shell one-liners).  With Options::trace_all every untraced query gets
 // one.  String "trace" ids pass through untouched.
 
+#include <memory>
 #include <string>
 
 #include "netemu/fleet/router.hpp"
+#include "netemu/fleet/scatter.hpp"
 #include "netemu/util/json.hpp"
 
 namespace netemu {
@@ -35,6 +37,9 @@ class FleetFrontDoor {
     /// Mint a trace id for every query that did not bring one.  Off by
     /// default: tracing every request makes every backend record spans.
     bool trace_all = false;
+    /// Scatter-gather decomposition of big estimate sweeps across the
+    /// backends (docs/SCATTER.md).  scatter.min_trials = 0 disables it.
+    Scatterer::Options scatter;
   };
 
   explicit FleetFrontDoor(FleetRouter& router, Options options);
@@ -52,11 +57,15 @@ class FleetFrontDoor {
                           bool* drain_requested = nullptr,
                           const std::string& peer = {});
 
+  /// The scatterer's counters (tests and the `fleet` op).
+  Scatterer::Stats scatter_stats() const { return scatterer_.stats(); }
+
  private:
   std::string handle_trace(const Json& request);
 
   FleetRouter& router_;
   Options options_;
+  Scatterer scatterer_;
 };
 
 }  // namespace netemu

@@ -311,6 +311,32 @@ void FleetRouter::spawn_attempt(std::size_t index, const Json& request_doc,
 }
 
 FleetRouter::Result FleetRouter::request(const Json& request_doc) {
+  return request(request_doc, std::nullopt);
+}
+
+void FleetRouter::cancel_at(std::size_t index, std::uint64_t trace_id) {
+  if (index >= backends_.size() || trace_id == 0) return;
+  fire_cancel(index, trace_id);
+}
+
+std::size_t FleetRouter::available_backends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t now = now_ms();
+  std::size_t available = 0;
+  for (const auto& bp : backends_) {
+    Backend& b = *bp;
+    if (b.health.state(now) != BackendHealth::State::kClosed) continue;
+    if (options_.pressure_sink_threshold > 0.0 &&
+        b.pressure >= options_.pressure_sink_threshold) {
+      continue;
+    }
+    ++available;
+  }
+  return available;
+}
+
+FleetRouter::Result FleetRouter::request(
+    const Json& request_doc, std::optional<std::size_t> exclude_backend) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t tid = doc_trace_id(request_doc);
   scope::SpanTimer route_span(tid, "fleet.route");
@@ -330,6 +356,10 @@ FleetRouter::Result FleetRouter::request(const Json& request_doc) {
 
   std::vector<std::size_t> order =
       rendezvous_rank(route_key(request_doc), ids_);
+  if (exclude_backend) {
+    order.erase(std::remove(order.begin(), order.end(), *exclude_backend),
+                order.end());
+  }
   if (options_.pressure_sink_threshold > 0.0) {
     // Overload preference: backends whose last probe reported pressure at or
     // above the threshold sink to the back of the rendezvous order.  A

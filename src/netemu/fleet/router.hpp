@@ -107,9 +107,25 @@ class FleetRouter {
   /// outcome additionally lands in the scope flight recorder.
   Result request(const Json& request_doc);
 
+  /// request(), skipping one backend entirely (the scatterer's straggler
+  /// retry must land somewhere OTHER than the backend presumed stuck).
+  Result request(const Json& request_doc,
+                 std::optional<std::size_t> exclude_backend);
+
   /// Rendezvous rank of every backend for this document's content address
   /// (exposed for tests and the `fleet` op).
   std::vector<std::size_t> rank_for(const Json& request_doc) const;
+
+  /// Best-effort detached {"op":"cancel","trace":...} at one backend — the
+  /// scatterer's cancel-on-satisfied, same mechanism as the hedge-loser
+  /// cancel (docs/SCATTER.md).  No-op on an out-of-range index or zero id.
+  void cancel_at(std::size_t index, std::uint64_t trace_id);
+
+  /// Backends currently worth scattering over: circuit breaker closed and
+  /// (when the sink threshold is armed) probed guard pressure below it.
+  /// The scatterer caps its fan-out here so sub-queries never pile onto
+  /// sunk or ejected backends.
+  std::size_t available_backends() const;
 
   /// Send one document to EVERY backend (ignoring breaker state — this is
   /// an admin fan-out for `trace`/`stats` merging, not a routed query) and

@@ -16,8 +16,16 @@ std::uint64_t query_cost(const Query& q) {
       // The simulator's work is ~ nodes x trials (ticks per node-trial is
       // bounded for the families we build).  q.n is validated <= 1e7 and
       // trials <= 64, so the product stays well inside double precision.
-      const double node_trials =
-          std::max(2.0, q.n) * static_cast<double>(std::max(1u, q.trials));
+      // A trial-range shard is charged for its own trials — plus the
+      // calibration trial it reruns when it excludes trial 0 — so a
+      // scattered query pays at least the unsharded admission cost in
+      // aggregate and cannot bypass the guard by splitting itself up.
+      double trial_count = static_cast<double>(std::max(1u, q.trials));
+      if (q.has_trial_range()) {
+        trial_count = static_cast<double>(q.trial_hi - q.trial_lo +
+                                          (q.trial_lo > 0 ? 1u : 0u));
+      }
+      const double node_trials = std::max(2.0, q.n) * trial_count;
       const double units = std::ceil(node_trials / kUnitNodeTrials);
       return static_cast<std::uint64_t>(std::max(1.0, units));
     }

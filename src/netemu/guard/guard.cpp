@@ -230,8 +230,11 @@ Guard::Decision Guard::admit(const std::string& client, const Query& q,
   // Brownout: under sustained pressure, estimates keep answering — with a
   // reduced sweep, marked degraded, never cached — before anything sheds.
   const double pressure = static_cast<double>(pending_cost_) / limit_;
+  // Trial-range shards are exempt: shrinking a shard's sweep would change
+  // which trials it covers and corrupt the scatter merge — under pressure a
+  // shard either runs whole or sheds (docs/SCATTER.md).
   if (options_.brownout && pressure > options_.brownout_pressure &&
-      q.kind == QueryKind::kEstimate &&
+      q.kind == QueryKind::kEstimate && !q.has_trial_range() &&
       q.trials > options_.brownout_min_trials) {
     const auto kept = static_cast<unsigned>(std::ceil(
         static_cast<double>(q.trials) * options_.brownout_keep));

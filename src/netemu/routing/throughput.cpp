@@ -56,6 +56,12 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
       options.max_messages);
 
   const unsigned trials = std::max(1u, options.trials);
+  // Shard window [lo, hi): the default (0, 0) covers the whole sweep.
+  const unsigned lo = std::min(options.trial_lo, trials - 1);
+  const unsigned hi =
+      options.trial_hi == 0 ? trials
+                            : std::clamp(options.trial_hi, lo + 1, trials);
+  const bool ranged = lo > 0 || hi < trials;
   std::vector<BatchStats> stats(trials);
   // Set per trial after its run_batch returns.  for_n collects by index and
   // each trial writes only its own slot, so plain bytes are race-free.
@@ -65,7 +71,10 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
   // is negligible, keeping the already-routed paths and routing only the
   // top-up messages each step.  Cancellation here propagates as
   // CancelledError: no trial has landed yet, so there is nothing partial to
-  // return.
+  // return.  The calibration runs even for a shard that excludes trial 0 —
+  // m must be derived from the same substream on every shard — but such a
+  // shard discards trial 0's stats AND its ticks, leaving them to the shard
+  // that owns trial 0 so shard ticks sum to the unsharded total.
   std::uint64_t calibration_ticks = 0;
   {
     Prng trial_rng = Prng::stream(base, 1);
@@ -82,15 +91,15 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
       calibration_ticks += stats[0].makespan;  // non-final sizing runs
       m = std::min(options.max_messages, m * 2);
     }
-    completed[0] = 1;
+    if (lo == 0) completed[0] = 1;
   }
   result.messages = m;
 
-  // Trials 1..T-1 at the calibrated size, independently seeded by index and
-  // collected by index — bit-identical at any thread count.  A cancelled
-  // trial is swallowed here (never escapes for_n, which would rethrow on the
-  // caller and drop sibling results): it just leaves its completed flag
-  // unset and the sweep reports a degraded partial result.
+  // Trials in [max(lo, 1), hi) at the calibrated size, independently seeded
+  // by index and collected by index — bit-identical at any thread count.  A
+  // cancelled trial is swallowed here (never escapes for_n, which would
+  // rethrow on the caller and drop sibling results): it just leaves its
+  // completed flag unset and the sweep reports a degraded partial result.
   const auto run_trial = [&](std::size_t t) {
     try {
       Prng trial_rng = Prng::stream(base, 1 + t);
@@ -101,31 +110,46 @@ ThroughputResult measure_throughput(const Machine& machine, Router& router,
     } catch (const CancelledError&) {
     }
   };
-  if (trials > 1) {
+  const unsigned first_run = std::max(lo, 1u);
+  if (hi > first_run) {
     if (options.pool != nullptr) {
-      options.pool->for_n(trials - 1,
-                          [&](std::size_t i) { run_trial(i + 1); });
+      options.pool->for_n(hi - first_run,
+                          [&](std::size_t i) { run_trial(first_run + i); });
     } else {
-      for (unsigned t = 1; t < trials; ++t) run_trial(t);
+      for (unsigned t = first_run; t < hi; ++t) run_trial(t);
     }
   }
 
-  result.trial_rates.reserve(trials);
-  result.total_ticks = calibration_ticks;
-  unsigned last_completed = 0;
-  for (unsigned t = 0; t < trials; ++t) {
+  // A ranged shard must stay contiguous so a merger can never double-count:
+  // truncate at the first gap.  The unsharded path keeps its historical
+  // behavior of skipping gaps (every completed trial still counts).
+  if (ranged) {
+    for (unsigned t = lo; t < hi; ++t) {
+      if (!completed[t]) {
+        std::fill(completed.begin() + t, completed.begin() + hi, char{0});
+        break;
+      }
+    }
+    if (!completed[lo]) throw CancelledError();
+  }
+
+  result.trial_lo = lo;
+  result.trial_rates.reserve(hi - lo);
+  result.total_ticks = lo == 0 ? calibration_ticks : 0;
+  unsigned last_completed = lo;
+  for (unsigned t = lo; t < hi; ++t) {
     if (!completed[t]) continue;
     result.trial_rates.push_back(stats[t].rate());
     result.total_ticks += stats[t].makespan;
     last_completed = t;
   }
   result.trials_completed = static_cast<unsigned>(result.trial_rates.size());
-  result.degraded = result.trials_completed < trials;
+  result.degraded = result.trials_completed < hi - lo;
   result.rate = median(std::vector<double>(result.trial_rates));
-  const auto [lo, hi] = std::minmax_element(result.trial_rates.begin(),
-                                            result.trial_rates.end());
-  result.rate_min = *lo;
-  result.rate_max = *hi;
+  const auto [rate_lo, rate_hi] = std::minmax_element(
+      result.trial_rates.begin(), result.trial_rates.end());
+  result.rate_min = *rate_lo;
+  result.rate_max = *rate_hi;
   result.last = stats[last_completed];
   return result;
 }

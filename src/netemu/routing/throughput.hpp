@@ -35,6 +35,15 @@ struct ThroughputOptions {
   std::size_t max_messages = 1u << 17;     ///< hard cap on batch growth
   std::uint64_t min_makespan = 256;        ///< floor (also >= 4 * diameter)
   unsigned trials = 3;
+  /// Run only trials [trial_lo, trial_hi) of the full sweep (trial_hi == 0
+  /// means trials).  The calibration pass (trial 0) ALWAYS runs so every
+  /// shard derives the same batch size m from the same substream; a shard
+  /// with trial_lo > 0 simply discards trial 0's stats and ticks, so summing
+  /// simulated ticks across disjoint shards reproduces the unsharded total.
+  /// Concatenating shard trial_rates in trial-index order is bit-identical
+  /// to the unsharded sweep (see docs/SCATTER.md).
+  unsigned trial_lo = 0;
+  unsigned trial_hi = 0;
   Arbitration arbitration = Arbitration::kFarthestFirst;
   /// Run trials 1..T-1 concurrently on this pool (collaboratively: safe even
   /// when called from inside one of the pool's own tasks).  nullptr = serial.
@@ -60,6 +69,10 @@ struct ThroughputResult {
   /// every requested trial ran, even if the token fired afterwards.
   bool degraded = false;
   unsigned trials_completed = 0;    ///< trials that ran to completion
+  /// The trial range this result covers: [trial_lo, trial_lo + trial_rates
+  /// .size()).  A degraded ranged result is prefix-truncated to stay
+  /// contiguous, so a merger can never double-count a trial.
+  unsigned trial_lo = 0;
 };
 
 ThroughputResult measure_throughput(const Machine& machine, Router& router,

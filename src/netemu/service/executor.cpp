@@ -412,7 +412,13 @@ Response QueryExecutor::execute(const Query& q) {
         const double elapsed_ms = compute_micros / 1000.0;
         double reclaimed_ms = elapsed_ms;
         if (computed.degraded) {
-          const double total = doc["trials"].as_number(0.0);
+          // A trial-range shard's sweep is its range width, not the full
+          // request's trial count (docs/SCATTER.md).
+          double total = doc["trials"].as_number(0.0);
+          if (doc.contains("trial_hi")) {
+            total = doc["trial_hi"].as_number(0.0) -
+                    doc["trial_lo"].as_number(0.0);
+          }
           const double done_trials =
               doc["trials_completed"].as_number(0.0);
           reclaimed_ms = elapsed_ms * (total - done_trials) /

@@ -118,6 +118,8 @@ Json plan_estimate(const Query& q, ThreadPool* pool,
 
   ThroughputOptions options;
   options.trials = q.trials;
+  options.trial_lo = q.trial_lo;
+  options.trial_hi = q.trial_hi;
   options.arbitration = q.arbitration;
   options.pool = pool;
   options.cancel = cancel;
@@ -137,6 +139,12 @@ Json plan_estimate(const Query& q, ThreadPool* pool,
   doc["arbitration"] = arbitration_name(q.arbitration);
   doc["seed"] = q.seed;
   doc["trials"] = q.trials;
+  if (q.has_trial_range()) {
+    // Shard identity for the scatter merger: trial_rates covers exactly
+    // [trial_lo, trial_lo + len) of the full sweep (docs/SCATTER.md).
+    doc["trial_lo"] = q.trial_lo;
+    doc["trial_hi"] = q.trial_hi;
+  }
   doc["messages"] = r.messages;
   doc["makespan"] = r.last.makespan;
   doc["avg_latency"] = r.last.avg_latency;

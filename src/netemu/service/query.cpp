@@ -160,6 +160,15 @@ std::string Query::canonical_string() const {
       append_num(s, static_cast<double>(seed));
       field("trials");
       append_num(s, trials);
+      // A proper trial sub-range forks the identity; the full range is
+      // normalized away at parse time so a "[0, trials)" shard shares its
+      // cache entry with the plain unsharded query (docs/SCATTER.md).
+      if (has_trial_range()) {
+        field("trial_lo");
+        append_num(s, trial_lo);
+        field("trial_hi");
+        append_num(s, trial_hi);
+      }
       break;
     case QueryKind::kMaxHost:
     case QueryKind::kBounds:
@@ -279,6 +288,26 @@ std::optional<Query> query_from_json(const Json& request, std::string* error) {
       if (t < 1 || t > 64) return fail("'trials' must be in [1, 64]");
       q.trials = static_cast<unsigned>(t);
     }
+    if (request.contains("trial_lo") || request.contains("trial_hi")) {
+      const std::int64_t lo =
+          request.contains("trial_lo") ? request["trial_lo"].as_int(-1) : 0;
+      const std::int64_t hi = request.contains("trial_hi")
+                                  ? request["trial_hi"].as_int(-1)
+                                  : static_cast<std::int64_t>(q.trials);
+      if (lo < 0 || hi <= lo || hi > static_cast<std::int64_t>(q.trials)) {
+        return fail("'trial_lo'/'trial_hi' must satisfy 0 <= lo < hi <= "
+                    "trials");
+      }
+      q.trial_lo = static_cast<unsigned>(lo);
+      q.trial_hi = static_cast<unsigned>(hi);
+      // Normalize the full range to "unset" so the shard's content address
+      // collides with the plain query's.
+      if (q.trial_lo == 0 && q.trial_hi == q.trials) {
+        q.trial_hi = 0;
+      }
+    }
+  } else if (request.contains("trial_lo") || request.contains("trial_hi")) {
+    return fail("'trial_lo'/'trial_hi' apply to op 'estimate' only");
   }
 
   if (request.contains("deadline_ms")) {
@@ -324,6 +353,10 @@ Json query_to_json(const Query& q) {
       doc["arbitration"] = arbitration_name(q.arbitration);
       doc["seed"] = q.seed;
       doc["trials"] = q.trials;
+      if (q.has_trial_range()) {
+        doc["trial_lo"] = q.trial_lo;
+        doc["trial_hi"] = q.trial_hi;
+      }
       break;
     case QueryKind::kMaxHost:
     case QueryKind::kBounds:

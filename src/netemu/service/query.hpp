@@ -55,6 +55,14 @@ struct Query {
   Arbitration arbitration = Arbitration::kFarthestFirst;
   std::uint64_t seed = 1;
   unsigned trials = 3;
+  /// Trial-range shard [trial_lo, trial_hi) of an estimate sweep, the wire
+  /// form of the scatter-gather decomposition (docs/SCATTER.md).  trial_hi
+  /// == 0 means "the whole sweep"; a full-range request ([0, trials)) is
+  /// normalized back to (0, 0) at parse time so its content address — and
+  /// therefore its cache entry — is shared with the plain unsharded query.
+  /// Only a PROPER sub-range enters the cache key.
+  unsigned trial_lo = 0;
+  unsigned trial_hi = 0;
 
   // Per-request execution control — NOT part of the content address.
   std::uint64_t deadline_ms = 0;  ///< 0 = executor default
@@ -71,6 +79,12 @@ struct Query {
                                   ///< peer when absent).  NOT part of the
                                   ///< cache key: who asks must not fork the
                                   ///< answer's identity.
+
+  /// True when this query covers a proper trial sub-range (estimate only).
+  bool has_trial_range() const {
+    return kind == QueryKind::kEstimate && trial_hi != 0 &&
+           !(trial_lo == 0 && trial_hi == trials);
+  }
 
   /// Canonical key string: "kind|field=value|..." over exactly the fields
   /// relevant to this kind, in fixed order.
